@@ -1,0 +1,58 @@
+// Figure 5: profiling the five HE evaluation routines on Device1 and
+// Device2 with the naive-GPU configuration — relative execution time and
+// the fraction spent in NTT/iNTT kernels (the paper reports 79.99% and
+// 75.64% NTT share on average).
+//
+// Parameters follow Section IV-C: N = 32K, RNS size L = 8, un-batched.
+#include "bench_common.h"
+
+#include "ckks/encoder.h"
+
+int main() {
+    using namespace bench;
+    using xehe::core::GpuOptions;
+    using xehe::core::kAllRoutines;
+    using xehe::core::Routine;
+    using xehe::core::RoutineBench;
+    using xehe::core::routine_name;
+
+    const xehe::ckks::CkksContext host(
+        xehe::ckks::EncryptionParameters::create(32768, 8));
+
+    for (const auto &spec : {xehe::xgpu::device1(), xehe::xgpu::device2()}) {
+        print_header(
+            ("Fig. 5: routine profiling on " + spec.name + " (naive config)").c_str(),
+            "Figure 5");
+        GpuOptions opts;
+        opts.ntt_variant = NttVariant::NaiveRadix2;
+        RoutineBench bench(host, spec, opts, /*functional=*/false);
+
+        std::printf("%-20s%14s%14s%14s%12s\n", "routine", "total (ms)",
+                    "NTT (ms)", "other (ms)", "NTT share");
+        double weighted_ntt = 0.0, total = 0.0;
+        double max_total = 0.0;
+        std::vector<std::pair<std::string, xehe::core::RoutineProfile>> rows;
+        for (const auto routine : kAllRoutines) {
+            const auto p = bench.run(routine);
+            rows.emplace_back(routine_name(routine), p);
+            weighted_ntt += p.ntt_ms;
+            total += p.total_ms();
+            max_total = std::max(max_total, p.total_ms());
+        }
+        for (const auto &[name, p] : rows) {
+            std::printf("%-20s%14.3f%14.3f%14.3f%11.1f%%\n", name.c_str(),
+                        p.total_ms(), p.ntt_ms, p.other_ms,
+                        100.0 * p.ntt_fraction());
+        }
+        std::printf("%-20s%14s%14s%14s%11.1f%%\n", "average", "", "", "",
+                    100.0 * weighted_ntt / total);
+        std::printf("\nNormalized execution time (max = 1):\n");
+        for (const auto &[name, p] : rows) {
+            std::printf("  %-20s%8.3f\n", name.c_str(), p.total_ms() / max_total);
+        }
+    }
+    std::printf(
+        "\nPaper reference points: NTT accounts for 79.99%% (Device1) and\n"
+        "75.64%% (Device2) of routine time on average.\n");
+    return 0;
+}

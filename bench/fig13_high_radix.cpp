@@ -1,0 +1,86 @@
+// Figure 13: high-radix NTT with shared local memory on Device1.
+// (a) speedup over the naive baseline; (b) efficiency vs instance count.
+// `--slm-sweep` additionally runs the TER_SLM_GAP_SZ ablation called out in
+// DESIGN.md.
+#include <cstring>
+
+#include "bench_common.h"
+
+int main(int argc, char **argv) {
+    using namespace bench;
+    const auto spec = xehe::xgpu::device1();
+    const NttVariant variants[] = {NttVariant::NaiveRadix2, NttVariant::LocalRadix4,
+                                   NttVariant::LocalRadix8,
+                                   NttVariant::LocalRadix16};
+    const char *names[] = {"naive", "local-radix-4", "local-radix-8",
+                           "local-radix-16"};
+
+    print_header("Fig. 13(a): high-radix SLM NTT speedup over naive (Device1)",
+                 "Figure 13a");
+    struct Point {
+        std::size_t n, inst;
+    };
+    const Point points[] = {{4096, 8},   {8192, 8},    {16384, 8}, {32768, 8},
+                            {32768, 16}, {32768, 256}, {32768, 512},
+                            {32768, 1024}};
+    std::vector<std::string> cols;
+    for (const auto &p : points) {
+        cols.push_back(std::to_string(p.n / 1024) + "K," + std::to_string(p.inst));
+    }
+    print_cols("variant \\ (N, inst)", cols);
+    std::vector<double> naive_ns;
+    for (const auto &p : points) {
+        naive_ns.push_back(
+            run_ntt(spec, NttVariant::NaiveRadix2, IsaMode::Compiler, 1, p.n, p.inst)
+                .time_ns);
+    }
+    for (std::size_t v = 0; v < 4; ++v) {
+        std::vector<double> speedups;
+        for (std::size_t i = 0; i < std::size(points); ++i) {
+            const auto run = run_ntt(spec, variants[v], IsaMode::Compiler, 1,
+                                     points[i].n, points[i].inst);
+            speedups.push_back(naive_ns[i] / run.time_ns);
+        }
+        print_row(names[v], speedups, "%10.2fx");
+    }
+
+    print_header("Fig. 13(b): efficiency vs instance count, 32K-point NTT",
+                 "Figure 13b");
+    const std::size_t instances[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+    cols.clear();
+    for (auto i : instances) {
+        cols.push_back(std::to_string(i));
+    }
+    print_cols("variant \\ instances", cols);
+    for (std::size_t v = 0; v < 4; ++v) {
+        std::vector<double> eff;
+        for (auto inst : instances) {
+            eff.push_back(100.0 *
+                          run_ntt(spec, variants[v], IsaMode::Compiler, 1, 32768,
+                                  inst)
+                              .efficiency);
+        }
+        print_row(names[v], eff, "%9.2f%%");
+    }
+    std::printf(
+        "\nPaper reference points: radix-8 up to 4.23x / 34.1%% efficiency at\n"
+        "32K/1024; radix-16 regresses due to GRF register spills.\n");
+
+    if (argc > 1 && std::strcmp(argv[1], "--slm-sweep") == 0) {
+        print_header("Ablation: SLM block size (2*TER_SLM_GAP_SZ) for radix-8",
+                     "Section III-B2 design choice");
+        print_cols("block", {"1024", "2048", "4096", "8192"});
+        std::vector<double> times;
+        for (std::size_t block : {1024u, 2048u, 4096u, 8192u}) {
+            Queue queue(spec, ExecConfig{1, IsaMode::Compiler, true});
+            queue.set_functional(false);
+            NttConfig cfg;
+            cfg.variant = NttVariant::LocalRadix8;
+            cfg.slm_block = block;
+            GpuNtt ntt(queue, cfg);
+            times.push_back(ntt.forward({}, 1024, tables_for(32768, 8)) * 1e-6);
+        }
+        print_row("sim time (ms)", times);
+    }
+    return 0;
+}

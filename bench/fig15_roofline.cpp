@@ -1,0 +1,76 @@
+// Figure 15 + Table I: roofline analysis of the NTT variants on Device1.
+// Prints each variant's operational density (int64 ops per global-memory
+// byte), achieved rate, and the memory-bandwidth / compute rooflines, plus
+// the paper's Table I per-work-item ALU-op counts used by the cost model.
+#include "bench_common.h"
+
+int main() {
+    using namespace bench;
+    const auto spec = xehe::xgpu::device1();
+
+    print_header("Table I: 64-bit integer ALU ops per work-item per round",
+                 "Table I");
+    print_cols("radix", {"other", "butterfly", "total"});
+    for (int radix : {2, 4, 8, 16}) {
+        const double total = xehe::ntt::table1_ops_per_item(radix);
+        const double butterfly = xehe::ntt::table1_butterfly_ops(radix);
+        print_row("radix-" + std::to_string(radix),
+                  {total - butterfly, butterfly, total}, "%10.0f");
+    }
+
+    print_header("Fig. 15: roofline on Device1 (32K-point, 8-RNS, 1024 instances)",
+                 "Figure 15");
+    const double peak = spec.peak_int64_ops(1);
+    const double bw = spec.gmem_bandwidth(1);
+    std::printf("int64 peak (1 tile):        %8.1f Gop/s\n", peak * 1e-9);
+    std::printf("int64 peak (2 tiles):       %8.1f Gop/s\n",
+                spec.peak_int64_ops(2) * 1e-9);
+    std::printf("global memory bandwidth:    %8.1f GB/s (ridge at %.2f op/byte)\n\n",
+                bw * 1e-9, peak / bw);
+
+    struct Entry {
+        const char *label;
+        NttVariant variant;
+        IsaMode isa;
+        int tiles;
+    };
+    const Entry entries[] = {
+        {"naive radix-2", NttVariant::NaiveRadix2, IsaMode::Compiler, 1},
+        {"SLM+simd radix-2", NttVariant::StagedSimd8, IsaMode::Compiler, 1},
+        {"SLM+radix-4", NttVariant::LocalRadix4, IsaMode::Compiler, 1},
+        {"SLM+radix-8", NttVariant::LocalRadix8, IsaMode::Compiler, 1},
+        {"SLM+radix-8+asm", NttVariant::LocalRadix8, IsaMode::InlineAsm, 1},
+        {"SLM+radix-8+dual-tile", NttVariant::LocalRadix8, IsaMode::InlineAsm, 2},
+    };
+    std::printf("%-24s%16s%16s%14s\n", "variant", "op density", "achieved Gop/s",
+                "% of peak");
+    for (const auto &e : entries) {
+        Queue queue(spec, ExecConfig{e.tiles, e.isa, true});
+        queue.set_functional(false);
+        NttConfig cfg;
+        cfg.variant = e.variant;
+        GpuNtt ntt(queue, cfg);
+        const double time_ns = ntt.forward({}, 1024, tables_for(32768, 8));
+        // Operational density: ALU ops per raw global-memory byte, following
+        // the paper's Section IV-B traffic accounting.
+        const double alu = queue.profiler().total_alu_ops();
+        double gmem_bytes = 0.0;
+        const std::size_t n = 32768, inst = 1024, rns = 8;
+        const double elements = static_cast<double>(n) * inst * rns;
+        if (e.variant == NttVariant::NaiveRadix2) {
+            gmem_bytes = 16.0 * elements * (xehe::util::log2_exact(n) + 1);
+        } else {
+            // one strided global pass per global round group + SLM kernel
+            gmem_bytes = 32.0 * elements;
+        }
+        const double density = alu / gmem_bytes;
+        const double achieved = alu / (time_ns * 1e-9);
+        std::printf("%-24s%16.2f%16.1f%13.1f%%\n", e.label, density,
+                    achieved * 1e-9, 100.0 * achieved / peak);
+    }
+    std::printf(
+        "\nPaper reference points: naive density 1.5 (bandwidth-bound),\n"
+        "radix-8 density 8.9 (compute-bound); optimized NTT reaches 79.8%%\n"
+        "of peak with dual-tile submission.\n");
+    return 0;
+}

@@ -1,0 +1,63 @@
+// Figure 18: the five CKKS evaluation routines on Device2 through
+// naive -> SIMD(8,8) -> opt-NTT (radix-8 SLM) -> +inline asm.
+// N = 32K, L = 8, un-batched, GPU kernel time only.
+#include "bench_common.h"
+
+int main() {
+    using namespace bench;
+    using xehe::core::GpuOptions;
+    using xehe::core::kAllRoutines;
+    using xehe::core::RoutineBench;
+    using xehe::core::routine_name;
+
+    const xehe::ckks::CkksContext host(
+        xehe::ckks::EncryptionParameters::create(32768, 8));
+    const auto spec = xehe::xgpu::device2();
+
+    struct Step {
+        const char *label;
+        NttVariant variant;
+        IsaMode isa;
+    };
+    const Step steps[] = {
+        {"naive", NttVariant::NaiveRadix2, IsaMode::Compiler},
+        {"SIMD(8,8)", NttVariant::StagedSimd8, IsaMode::Compiler},
+        {"opt-NTT", NttVariant::LocalRadix8, IsaMode::Compiler},
+        {"opt-NTT+asm", NttVariant::LocalRadix8, IsaMode::InlineAsm},
+    };
+
+    print_header("Fig. 18: HE evaluation routines on Device2", "Figure 18");
+    std::printf("%-20s%-16s%12s%10s%10s%12s\n", "routine", "step", "norm. time",
+                "NTT", "other", "speedup");
+    double sum_ntt_gain = 0.0, sum_total_gain = 0.0;
+    int count = 0;
+    for (const auto routine : kAllRoutines) {
+        double baseline_ms = 0.0, baseline_ntt = 0.0;
+        for (const auto &step : steps) {
+            GpuOptions opts;
+            opts.ntt_variant = step.variant;
+            opts.isa = step.isa;
+            RoutineBench bench(host, spec, opts, /*functional=*/false);
+            const auto p = bench.run(routine);
+            if (baseline_ms == 0.0) {
+                baseline_ms = p.total_ms();
+                baseline_ntt = p.ntt_ms;
+            }
+            std::printf("%-20s%-16s%12.3f%10.3f%10.3f%11.2fx\n",
+                        routine_name(routine), step.label,
+                        p.total_ms() / baseline_ms, p.ntt_ms / baseline_ms,
+                        p.other_ms / baseline_ms, baseline_ms / p.total_ms());
+            if (std::string(step.label) == "SIMD(8,8)") {
+                sum_ntt_gain += baseline_ntt / p.ntt_ms - 1.0;
+                sum_total_gain += baseline_ms / p.total_ms() - 1.0;
+                ++count;
+            }
+        }
+    }
+    std::printf("\nSIMD(8,8) average: NTT part improved %.1f%%, routines %.1f%%\n",
+                100.0 * sum_ntt_gain / count, 100.0 * sum_total_gain / count);
+    std::printf(
+        "Paper reference points: SIMD(8,8) improves the NTT part 34%% and\n"
+        "routines 29.6%% on average; final step reaches 2.32-2.41x.\n");
+    return 0;
+}

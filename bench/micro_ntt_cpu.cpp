@@ -1,0 +1,60 @@
+// Wall-clock microbenchmarks (google-benchmark) of the reference host NTT
+// — the HEXL-equivalent CPU path used as the correctness oracle.
+#include <benchmark/benchmark.h>
+
+#include <random>
+
+#include "ntt/ntt_ref.h"
+
+namespace xn = xehe::ntt;
+namespace xu = xehe::util;
+
+namespace {
+
+struct Fixture {
+    xn::NttTables tables;
+    std::vector<uint64_t> data;
+
+    explicit Fixture(std::size_t n)
+        : tables(n, xu::generate_ntt_primes(50, n, 1)[0]), data(n) {
+        std::mt19937_64 rng(n);
+        for (auto &x : data) {
+            x = rng() % tables.modulus().value();
+        }
+    }
+};
+
+}  // namespace
+
+static void BM_NttForward(benchmark::State &state) {
+    Fixture f(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        xn::ntt_forward(f.data, f.tables);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NttForward)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(32768);
+
+static void BM_NttInverse(benchmark::State &state) {
+    Fixture f(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        xn::ntt_inverse(f.data, f.tables);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_NttInverse)->Arg(1024)->Arg(4096)->Arg(16384)->Arg(32768);
+
+static void BM_NttRoundtrip(benchmark::State &state) {
+    Fixture f(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        xn::ntt_forward(f.data, f.tables);
+        xn::ntt_inverse(f.data, f.tables);
+        benchmark::ClobberMemory();
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0) * 2);
+}
+BENCHMARK(BM_NttRoundtrip)->Arg(4096)->Arg(32768);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Encrypted dot product — the private-inference primitive the paper's
+// introduction motivates (privacy-preserving ML inference).
+//
+// Computes <x, w> where x is an encrypted client feature vector and w is
+// the server's plaintext weight vector: slot-wise multiply, then a
+// log2(slots) rotate-and-add reduction using Galois keys, all on the
+// simulated GPU.  The result lands in every slot.
+#include <cstdio>
+#include <random>
+#include <vector>
+
+#include "ckks/encoder.h"
+#include "xehe/gpu_evaluator.h"
+
+int main() {
+    using namespace xehe;
+
+    const std::size_t n = 4096;
+    const ckks::CkksContext context(ckks::EncryptionParameters::create(n, 3));
+    const double scale = std::ldexp(1.0, 40);
+
+    ckks::CkksEncoder encoder(context);
+    ckks::KeyGenerator keygen(context);
+    ckks::Encryptor encryptor(context, keygen.create_public_key());
+    ckks::Decryptor decryptor(context, keygen.secret_key());
+    const auto relin_keys = keygen.create_relin_keys();
+
+    // Galois keys for all power-of-two rotations used by the reduction.
+    std::vector<int> steps;
+    for (std::size_t s = 1; s < encoder.slots(); s <<= 1) {
+        steps.push_back(static_cast<int>(s));
+    }
+    const auto galois_keys = keygen.create_galois_keys(steps);
+
+    // Client data and server weights.
+    std::mt19937_64 rng(42);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<double> x(encoder.slots()), w(encoder.slots());
+    double expect = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        x[i] = dist(rng);
+        w[i] = dist(rng);
+        expect += x[i] * w[i];
+    }
+
+    const auto ct_x =
+        encryptor.encrypt(encoder.encode(std::span<const double>(x), scale));
+    const auto plain_w = encoder.encode(std::span<const double>(w), scale);
+    // The host evaluator handles the plaintext product; rotations and
+    // additions run on the GPU.
+    ckks::Evaluator host_eval(context);
+    auto prod = host_eval.rescale(host_eval.multiply_plain(ct_x, plain_w));
+
+    core::GpuContext gpu(context, xgpu::device2(), core::GpuOptions{});
+    core::GpuEvaluator evaluator(gpu);
+    auto acc = core::upload(gpu, prod);
+    for (std::size_t s = 1; s < encoder.slots(); s <<= 1) {
+        auto rotated = evaluator.rotate(acc, static_cast<int>(s), galois_keys);
+        evaluator.add_inplace(acc, rotated);
+    }
+    const auto result = core::download(gpu, acc);
+    const auto decoded = encoder.decode(decryptor.decrypt(result));
+
+    std::printf("encrypted <x, w> = %.6f\n", decoded[0].real());
+    std::printf("plaintext <x, w> = %.6f\n", expect);
+    std::printf("absolute error   = %.3e\n",
+                std::abs(decoded[0].real() - expect));
+    std::printf("simulated GPU time: %.3f ms over %zu kernel classes\n",
+                gpu.profiler().total_ns() * 1e-6,
+                gpu.profiler().entries().size());
+    return 0;
+}

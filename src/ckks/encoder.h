@@ -1,0 +1,64 @@
+// CKKS encoder: maps vectors of N/2 complex numbers to plaintext
+// polynomials via the canonical embedding (a negacyclic FFT over ℂ with the
+// Galois slot ordering), scales by Δ, and carries the result into RNS+NTT
+// form — the Encode/Decode primitives of Section II-A.
+#pragma once
+
+#include <complex>
+
+#include "ckks/poly.h"
+
+namespace xehe::ckks {
+
+/// Negacyclic complex FFT with the same loop structure and table layout as
+/// the integer NTT (ψ = e^{iπ/N}); used only by the encoder.
+class ComplexFft {
+public:
+    explicit ComplexFft(std::size_t n);
+
+    std::size_t n() const noexcept { return n_; }
+
+    /// Decode direction: a[j] <- Σ_k a_k ψ^{(2 bitrev(j)+1) k}.
+    void forward(std::span<std::complex<double>> a) const;
+
+    /// Encode direction: exact inverse of forward (includes the 1/N).
+    void inverse(std::span<std::complex<double>> a) const;
+
+private:
+    std::size_t n_;
+    int log_n_;
+    std::vector<std::complex<double>> roots_;      // roots_[m+i], bit-reversed
+    std::vector<std::complex<double>> inv_roots_;  // sequential-consumption layout
+};
+
+class CkksEncoder {
+public:
+    explicit CkksEncoder(const CkksContext &context);
+
+    std::size_t slots() const noexcept { return context_->slots(); }
+
+    /// Encodes up to `slots()` complex values at the given scale into a
+    /// plaintext with `rns_count` active primes (defaults to max level).
+    Plaintext encode(std::span<const std::complex<double>> values, double scale,
+                     std::size_t rns_count = 0) const;
+
+    /// Encodes a vector of reals (imaginary parts zero).
+    Plaintext encode(std::span<const double> values, double scale,
+                     std::size_t rns_count = 0) const;
+
+    /// Encodes a constant into every slot.
+    Plaintext encode(double value, double scale, std::size_t rns_count = 0) const;
+
+    /// Inverse of encode.
+    std::vector<std::complex<double>> decode(const Plaintext &plain) const;
+
+private:
+    const CkksContext *context_;
+    ComplexFft fft_;
+    /// Slot i of the message lives at transform position index_map_[i]
+    /// (and its conjugate at index_map_[i + slots]): the 3^i Galois
+    /// ordering that makes rotations act as cyclic slot shifts.
+    std::vector<std::size_t> index_map_;
+};
+
+}  // namespace xehe::ckks

@@ -1,0 +1,96 @@
+#include "ckks/encryptor.h"
+
+namespace xehe::ckks {
+
+Encryptor::Encryptor(const CkksContext &context, PublicKey public_key,
+                     uint64_t seed)
+    : context_(&context), public_key_(std::move(public_key)), rng_(seed) {}
+
+Ciphertext Encryptor::encrypt(const Plaintext &plain) {
+    const std::size_t n = context_->n();
+    const std::size_t rns = plain.rns;
+    util::require(plain.ntt_form, "encrypt expects NTT-form plaintext");
+    util::require(rns >= 1 && rns <= context_->max_level(), "bad plaintext level");
+
+    Ciphertext ct;
+    ct.resize(n, 2, rns);
+    ct.ntt_form = true;
+    ct.scale = plain.scale;
+
+    // Shared small polynomials, reduced consistently across components.
+    std::vector<int> u_coeffs(n), e0_coeffs(n), e1_coeffs(n);
+    for (std::size_t k = 0; k < n; ++k) {
+        u_coeffs[k] = rng_.ternary();
+        e0_coeffs[k] = rng_.cbd_error();
+        e1_coeffs[k] = rng_.cbd_error();
+    }
+
+    std::vector<uint64_t> u(n), e(n);
+    for (std::size_t r = 0; r < rns; ++r) {
+        const auto &q = context_->key_modulus()[r];
+        const auto &table = context_->table(r);
+        // u in NTT form under q_r.
+        for (std::size_t k = 0; k < n; ++k) {
+            u[k] = util::signed_to_mod(u_coeffs[k], q);
+        }
+        ntt::ntt_forward(u, table);
+
+        for (int part = 0; part < 2; ++part) {
+            const auto &err = part == 0 ? e0_coeffs : e1_coeffs;
+            for (std::size_t k = 0; k < n; ++k) {
+                e[k] = util::signed_to_mod(err[k], q);
+            }
+            ntt::ntt_forward(e, table);
+            auto dst = ct.component(part, r);
+            const auto pk = public_key_.ct.component(part, r);
+            for (std::size_t k = 0; k < n; ++k) {
+                dst[k] = util::mad_mod(pk[k], u[k], e[k], q);
+            }
+        }
+        // Add the message into c0.
+        auto c0 = ct.component(0, r);
+        const auto m = plain.component(r);
+        for (std::size_t k = 0; k < n; ++k) {
+            c0[k] = util::add_mod(c0[k], m[k], q);
+        }
+    }
+    return ct;
+}
+
+Decryptor::Decryptor(const CkksContext &context, SecretKey secret_key)
+    : context_(&context), secret_key_(std::move(secret_key)) {}
+
+Plaintext Decryptor::decrypt(const Ciphertext &ct) const {
+    const std::size_t n = context_->n();
+    util::require(ct.ntt_form, "decrypt expects NTT form");
+    util::require(ct.size >= 2 && ct.size <= 3, "unsupported ciphertext size");
+
+    Plaintext plain;
+    plain.n = n;
+    plain.rns = ct.rns;
+    plain.scale = ct.scale;
+    plain.ntt_form = true;
+    plain.data.resize(ct.rns * n);
+
+    for (std::size_t r = 0; r < ct.rns; ++r) {
+        const auto &q = context_->key_modulus()[r];
+        const auto sk = std::span<const uint64_t>(secret_key_.data)
+                            .subspan(r * n, n);
+        const auto c0 = ct.component(0, r);
+        const auto c1 = ct.component(1, r);
+        auto out = plain.component(r);
+        for (std::size_t k = 0; k < n; ++k) {
+            out[k] = util::mad_mod(c1[k], sk[k], c0[k], q);
+        }
+        if (ct.size == 3) {
+            const auto c2 = ct.component(2, r);
+            for (std::size_t k = 0; k < n; ++k) {
+                const uint64_t sk_sq = util::mul_mod(sk[k], sk[k], q);
+                out[k] = util::mad_mod(c2[k], sk_sq, out[k], q);
+            }
+        }
+    }
+    return plain;
+}
+
+}  // namespace xehe::ckks

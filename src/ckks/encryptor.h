@@ -1,0 +1,37 @@
+// Public-key encryption and secret-key decryption (Encrypt / Decrypt of
+// Section II-A).  Per the paper's design (Fig. 1) these stay on the host;
+// only evaluation is GPU-accelerated.
+#pragma once
+
+#include "ckks/keys.h"
+
+namespace xehe::ckks {
+
+class Encryptor {
+public:
+    Encryptor(const CkksContext &context, PublicKey public_key,
+              uint64_t seed = 0xE4C12f7);
+
+    /// Encrypts an NTT-form plaintext:
+    /// c = (pk0·u + e0 + m, pk1·u + e1) at the plaintext's level.
+    Ciphertext encrypt(const Plaintext &plain);
+
+private:
+    const CkksContext *context_;
+    PublicKey public_key_;
+    util::RandomGenerator rng_;
+};
+
+class Decryptor {
+public:
+    Decryptor(const CkksContext &context, SecretKey secret_key);
+
+    /// m = c0 + c1·s (+ c2·s^2) mod q_l, NTT form.
+    Plaintext decrypt(const Ciphertext &ct) const;
+
+private:
+    const CkksContext *context_;
+    SecretKey secret_key_;
+};
+
+}  // namespace xehe::ckks

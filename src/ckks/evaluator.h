@@ -1,0 +1,60 @@
+// CPU reference evaluator for RNS-CKKS: Add, Multiply, Square, Relinearize,
+// Rescale, ModSwitch and Rotate (Section II-A), with SEAL-style RNS key
+// switching through a single special prime.  This is the correctness oracle
+// the GPU evaluator (src/xehe) is validated against.
+#pragma once
+
+#include "ckks/encryptor.h"
+
+namespace xehe::ckks {
+
+class Evaluator {
+public:
+    explicit Evaluator(const CkksContext &context);
+
+    // --- linear ops ---------------------------------------------------
+    Ciphertext add(const Ciphertext &a, const Ciphertext &b) const;
+    Ciphertext sub(const Ciphertext &a, const Ciphertext &b) const;
+    Ciphertext negate(const Ciphertext &a) const;
+    Ciphertext add_plain(const Ciphertext &a, const Plaintext &p) const;
+    Ciphertext multiply_plain(const Ciphertext &a, const Plaintext &p) const;
+
+    // --- multiplicative ops --------------------------------------------
+    /// Tensor product of two size-2 ciphertexts; result has size 3 and
+    /// scale a.scale * b.scale.
+    Ciphertext multiply(const Ciphertext &a, const Ciphertext &b) const;
+    Ciphertext square(const Ciphertext &a) const;
+
+    /// Reduces a size-3 ciphertext back to size 2 with the relin key.
+    Ciphertext relinearize(const Ciphertext &a, const RelinKeys &keys) const;
+
+    /// Divides by the last active prime with rounding; drops one level and
+    /// divides the scale by that prime.
+    Ciphertext rescale(const Ciphertext &a) const;
+
+    /// Drops the last active prime without scaling.
+    Ciphertext mod_switch(const Ciphertext &a) const;
+
+    /// Cyclic slot rotation by `step` via the Galois automorphism plus key
+    /// switching.
+    Ciphertext rotate(const Ciphertext &a, int step, const GaloisKeys &keys) const;
+
+    /// Complex conjugation of the slots.
+    Ciphertext conjugate(const Ciphertext &a, const GaloisKeys &keys) const;
+
+    const GaloisTool &galois_tool() const noexcept { return galois_; }
+
+    /// Key switching workhorse: given `target` (an NTT-form RNS polynomial
+    /// at dest.rns active primes that currently decrypts under the switch
+    /// key's source secret), adds (ks0, ks1) into dest.poly(0)/poly(1).
+    void switch_key_inplace(Ciphertext &dest, std::span<const uint64_t> target,
+                            const KSwitchKey &key) const;
+
+private:
+    void check_compatible(const Ciphertext &a, const Ciphertext &b) const;
+
+    const CkksContext *context_;
+    GaloisTool galois_;
+};
+
+}  // namespace xehe::ckks

@@ -1,0 +1,48 @@
+#include "ckks/galois.h"
+
+namespace xehe::ckks {
+
+GaloisTool::GaloisTool(std::size_t n) : n_(n), log_n_(util::log2_exact(n)) {
+    util::require(util::is_power_of_two(n), "n must be a power of two");
+}
+
+uint64_t GaloisTool::elt_from_step(int step) const {
+    const std::size_t slots = n_ / 2;
+    const uint64_t m = 2 * n_;
+    std::size_t pos = ((step % static_cast<int>(slots)) + static_cast<int>(slots)) %
+                      static_cast<int>(slots);
+    uint64_t elt = 1;
+    for (std::size_t i = 0; i < pos; ++i) {
+        elt = (elt * 3) % m;
+    }
+    return elt;
+}
+
+const std::vector<std::size_t> &GaloisTool::permutation(uint64_t galois_elt) const {
+    util::require((galois_elt & 1) != 0 && galois_elt < 2 * n_,
+                  "galois element must be odd and < 2N");
+    auto it = tables_.find(galois_elt);
+    if (it != tables_.end()) {
+        return it->second;
+    }
+    std::vector<std::size_t> table(n_);
+    const uint64_t m = 2 * n_;
+    for (std::size_t j = 0; j < n_; ++j) {
+        const uint64_t exponent = 2 * util::reverse_bits(j, log_n_) + 1;
+        const uint64_t image = (galois_elt * exponent) % m;
+        table[j] = util::reverse_bits((image - 1) >> 1, log_n_);
+    }
+    return tables_.emplace(galois_elt, std::move(table)).first->second;
+}
+
+void GaloisTool::apply_ntt(std::span<const uint64_t> in, uint64_t galois_elt,
+                           std::span<uint64_t> out) const {
+    util::require(in.size() == n_ && out.size() == n_, "size mismatch");
+    util::require(in.data() != out.data(), "in-place galois not supported");
+    const auto &table = permutation(galois_elt);
+    for (std::size_t j = 0; j < n_; ++j) {
+        out[j] = in[table[j]];
+    }
+}
+
+}  // namespace xehe::ckks

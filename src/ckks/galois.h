@@ -1,0 +1,39 @@
+// Galois automorphisms x -> x^g acting on NTT-form polynomials as slot
+// permutations; the substrate of the Rotate routine (Section IV-C).
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "ckks/poly.h"
+
+namespace xehe::ckks {
+
+class GaloisTool {
+public:
+    explicit GaloisTool(std::size_t n);
+
+    std::size_t n() const noexcept { return n_; }
+
+    /// Galois element for a cyclic slot rotation by `step` (mod N/2);
+    /// step 0 returns the identity element 1.
+    uint64_t elt_from_step(int step) const;
+
+    /// Galois element of complex conjugation (2N - 1).
+    uint64_t conjugation_elt() const noexcept { return 2 * n_ - 1; }
+
+    /// Applies the automorphism to one NTT-form component:
+    /// out[j] = in[π_g(j)] where the NTT position j evaluates at ζ^{2·rev(j)+1}
+    /// and the automorphism maps evaluation points ζ^e -> ζ^{g·e}.
+    void apply_ntt(std::span<const uint64_t> in, uint64_t galois_elt,
+                   std::span<uint64_t> out) const;
+
+private:
+    const std::vector<std::size_t> &permutation(uint64_t galois_elt) const;
+
+    std::size_t n_;
+    int log_n_;
+    mutable std::map<uint64_t, std::vector<std::size_t>> tables_;
+};
+
+}  // namespace xehe::ckks

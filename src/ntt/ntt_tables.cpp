@@ -1,0 +1,50 @@
+#include "ntt/ntt_tables.h"
+
+namespace xehe::ntt {
+
+NttTables::NttTables(std::size_t n, const Modulus &q) : n_(n), modulus_(q) {
+    util::require(util::is_power_of_two(n), "NTT size must be a power of two");
+    util::require((q.value() - 1) % (2 * n) == 0, "modulus not NTT-friendly");
+    log_n_ = util::log2_exact(n);
+
+    uint64_t root = 0;
+    util::require(util::try_minimal_primitive_root(2 * n, q, &root),
+                  "no primitive 2N-th root of unity");
+    psi_ = root;
+
+    // Forward powers in bit-reversed order.
+    root_powers_.resize(n);
+    uint64_t power = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+        root_powers_[util::reverse_bits(i, log_n_)] = MultiplyModOperand(power, q);
+        power = util::mul_mod(power, psi_, q);
+    }
+
+    // Inverse powers, SEAL sequential-consumption layout.
+    uint64_t inv_psi = 0;
+    util::require(util::try_invert_mod(psi_, q, &inv_psi), "psi not invertible");
+    inv_root_powers_.resize(n);
+    uint64_t ipower = inv_psi;
+    inv_root_powers_[0] = MultiplyModOperand(1, q);
+    for (std::size_t i = 1; i < n; ++i) {
+        inv_root_powers_[util::reverse_bits(i - 1, log_n_) + 1] =
+            MultiplyModOperand(ipower, q);
+        ipower = util::mul_mod(ipower, inv_psi, q);
+    }
+
+    uint64_t inv_n = 0;
+    util::require(util::try_invert_mod(n, q, &inv_n), "N not invertible");
+    inv_degree_ = MultiplyModOperand(inv_n, q);
+}
+
+std::vector<NttTables> make_ntt_tables(std::size_t n,
+                                       const std::vector<Modulus> &moduli) {
+    std::vector<NttTables> tables;
+    tables.reserve(moduli.size());
+    for (const auto &q : moduli) {
+        tables.emplace_back(n, q);
+    }
+    return tables;
+}
+
+}  // namespace xehe::ntt

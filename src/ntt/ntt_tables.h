@@ -1,0 +1,62 @@
+// Precomputed tables for the negacyclic number-theoretic transform.
+//
+// For a power-of-two N and an NTT-friendly prime q (q ≡ 1 mod 2N) the tables
+// hold the powers of ψ, the primitive 2N-th root of unity, in bit-reversed
+// order, each paired with its Harvey quotient floor(ψ^k · 2^64 / q) (the
+// paper's "root power quotients"), plus the inverse tables and N^{-1} for
+// the inverse transform.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "util/modarith.h"
+#include "util/primes.h"
+
+namespace xehe::ntt {
+
+using util::Modulus;
+using util::MultiplyModOperand;
+
+class NttTables {
+public:
+    /// Builds tables for an N-point negacyclic NTT modulo q.
+    /// N must be a power of two and q ≡ 1 (mod 2N).
+    NttTables(std::size_t n, const Modulus &q);
+
+    std::size_t n() const noexcept { return n_; }
+    int log_n() const noexcept { return log_n_; }
+    const Modulus &modulus() const noexcept { return modulus_; }
+    uint64_t psi() const noexcept { return psi_; }
+
+    /// root_powers()[j] = ψ^{bitreverse(j, log N)} with Harvey quotient.
+    /// Consumed as W = root_powers()[m + i] in round m, group i.
+    const std::vector<MultiplyModOperand> &root_powers() const noexcept {
+        return root_powers_;
+    }
+
+    /// Inverse root powers laid out for sequential consumption by the
+    /// Gentleman-Sande inverse transform (SEAL layout):
+    /// inv_root_powers()[bitreverse(k-1, log N) + 1] = ψ^{-k}.
+    const std::vector<MultiplyModOperand> &inv_root_powers() const noexcept {
+        return inv_root_powers_;
+    }
+
+    /// N^{-1} mod q, applied after the inverse transform.
+    const MultiplyModOperand &inv_degree() const noexcept { return inv_degree_; }
+
+private:
+    std::size_t n_;
+    int log_n_;
+    Modulus modulus_;
+    uint64_t psi_;
+    std::vector<MultiplyModOperand> root_powers_;
+    std::vector<MultiplyModOperand> inv_root_powers_;
+    MultiplyModOperand inv_degree_;
+};
+
+/// Builds one table per RNS modulus.
+std::vector<NttTables> make_ntt_tables(std::size_t n,
+                                       const std::vector<Modulus> &moduli);
+
+}  // namespace xehe::ntt

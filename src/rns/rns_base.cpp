@@ -1,0 +1,93 @@
+#include "rns/rns_base.h"
+
+namespace xehe::rns {
+
+RnsBase::RnsBase(std::vector<Modulus> moduli) : moduli_(std::move(moduli)) {
+    util::require(!moduli_.empty(), "RNS base must not be empty");
+    product_ = BigUInt(1);
+    for (const auto &q : moduli_) {
+        product_.mul_word_assign(q.value());
+    }
+    punctured_.reserve(moduli_.size());
+    inv_punctured_.reserve(moduli_.size());
+    for (std::size_t i = 0; i < moduli_.size(); ++i) {
+        BigUInt punctured(1);
+        for (std::size_t j = 0; j < moduli_.size(); ++j) {
+            if (j != i) {
+                punctured.mul_word_assign(moduli_[j].value());
+            }
+        }
+        const uint64_t residue = punctured.mod_word(moduli_[i]);
+        uint64_t inv = 0;
+        util::require(util::try_invert_mod(residue, moduli_[i], &inv),
+                      "RNS moduli must be pairwise coprime");
+        punctured_.push_back(std::move(punctured));
+        inv_punctured_.emplace_back(inv, moduli_[i]);
+    }
+}
+
+void RnsBase::decompose(const BigUInt &value, std::span<uint64_t> out) const {
+    util::require(out.size() == size(), "residue span size mismatch");
+    for (std::size_t i = 0; i < size(); ++i) {
+        out[i] = value.mod_word(moduli_[i]);
+    }
+}
+
+BigUInt RnsBase::compose(std::span<const uint64_t> residues) const {
+    util::require(residues.size() == size(), "residue span size mismatch");
+    BigUInt acc(0);
+    for (std::size_t i = 0; i < size(); ++i) {
+        const uint64_t scaled =
+            util::mul_mod(residues[i], inv_punctured_[i], moduli_[i]);
+        BigUInt term = punctured_[i];
+        term.mul_word_assign(scaled);
+        acc.add_assign(term);
+    }
+    // acc < size() * Q: reduce by repeated subtraction.
+    while (acc >= product_) {
+        acc.sub_assign(product_);
+    }
+    return acc;
+}
+
+BaseConverter::BaseConverter(const RnsBase &in, std::vector<Modulus> out)
+    : in_(&in), out_(std::move(out)) {
+    punctured_mod_out_.resize(out_.size());
+    for (std::size_t j = 0; j < out_.size(); ++j) {
+        punctured_mod_out_[j].resize(in.size());
+        for (std::size_t i = 0; i < in.size(); ++i) {
+            punctured_mod_out_[j][i] = in.punctured(i).mod_word(out_[j]);
+        }
+    }
+}
+
+void BaseConverter::convert(std::span<const uint64_t> in,
+                            std::span<uint64_t> out) const {
+    util::require(in.size() == in_->size() && out.size() == out_.size(),
+                  "base conversion size mismatch");
+    // Scale each residue by the inverse punctured product first; the sum
+    // Σ s_i (Q/q_i) equals x + k·Q with k = floor(Σ s_i / q_i), which the
+    // floating-point estimate below corrects (HPS).
+    std::vector<uint64_t> scaled(in.size());
+    long double k_estimate = 0.0L;
+    for (std::size_t i = 0; i < in.size(); ++i) {
+        scaled[i] = util::mul_mod(in[i], in_->inv_punctured(i), (*in_)[i]);
+        k_estimate += static_cast<long double>(scaled[i]) /
+                      static_cast<long double>((*in_)[i].value());
+    }
+    // Round-to-nearest: exact for values away from Q/2; values above Q/2
+    // come out centered (off by exactly -Q), which downstream consumers of
+    // the fast conversion tolerate.
+    const uint64_t k = static_cast<uint64_t>(k_estimate + 0.5L);
+    for (std::size_t j = 0; j < out_.size(); ++j) {
+        uint64_t acc = 0;
+        const Modulus &p = out_[j];
+        for (std::size_t i = 0; i < in.size(); ++i) {
+            acc = util::mad_mod(scaled[i], punctured_mod_out_[j][i], acc, p);
+        }
+        const uint64_t kq = util::mul_mod(k, in_->product().mod_word(p), p);
+        out[j] = util::sub_mod(acc, kq, p);
+    }
+}
+
+}  // namespace xehe::rns

@@ -1,0 +1,151 @@
+#include "util/biguint.h"
+
+#include <cmath>
+
+#include "util/modarith.h"
+
+namespace xehe::util {
+
+BigUInt BigUInt::from_words(std::vector<uint64_t> words) {
+    BigUInt result;
+    if (!words.empty()) {
+        result.words_ = std::move(words);
+    }
+    result.trim();
+    return result;
+}
+
+bool BigUInt::is_zero() const noexcept {
+    for (uint64_t w : words_) {
+        if (w != 0) {
+            return false;
+        }
+    }
+    return true;
+}
+
+int BigUInt::significant_bit_count() const noexcept {
+    for (size_t i = words_.size(); i-- > 0;) {
+        if (words_[i] != 0) {
+            return static_cast<int>(i) * 64 + significant_bits(words_[i]);
+        }
+    }
+    return 0;
+}
+
+void BigUInt::add_assign(const BigUInt &other) {
+    const size_t n = std::max(words_.size(), other.words_.size());
+    words_.resize(n + 1, 0);
+    unsigned carry = 0;
+    for (size_t i = 0; i < n + 1; ++i) {
+        words_[i] = add_uint64_carry(words_[i], other.word(i), carry, &carry);
+    }
+    trim();
+}
+
+void BigUInt::sub_assign(const BigUInt &other) {
+    assert(compare(other) >= 0);
+    unsigned borrow = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+        const uint64_t rhs = other.word(i);
+        const uint64_t lhs = words_[i];
+        const uint64_t diff = lhs - rhs - borrow;
+        borrow = (lhs < rhs || (lhs == rhs && borrow)) ? 1u : 0u;
+        words_[i] = diff;
+    }
+    trim();
+}
+
+void BigUInt::mul_word_assign(uint64_t value) {
+    uint64_t carry = 0;
+    for (auto &w : words_) {
+        const Uint128 p = mul_uint64_wide(w, value);
+        unsigned c = 0;
+        w = add_uint64_carry(p.lo, carry, 0, &c);
+        carry = p.hi + c;
+    }
+    if (carry != 0) {
+        words_.push_back(carry);
+    }
+    trim();
+}
+
+BigUInt BigUInt::mul(const BigUInt &other) const {
+    BigUInt result;
+    result.words_.assign(words_.size() + other.words_.size(), 0);
+    for (size_t i = 0; i < words_.size(); ++i) {
+        uint64_t carry = 0;
+        for (size_t j = 0; j < other.words_.size(); ++j) {
+            const Uint128 p = mul_uint64_wide(words_[i], other.words_[j]);
+            // Accumulate p + carry into result[i + j .. i + j + 1].
+            unsigned c1 = 0, c2 = 0, c3 = 0;
+            const uint64_t lo = add_uint64_carry(result.words_[i + j], p.lo, 0, &c1);
+            const uint64_t lo2 = add_uint64_carry(lo, carry, 0, &c2);
+            result.words_[i + j] = lo2;
+            const uint64_t hi = add_uint64_carry(result.words_[i + j + 1], p.hi,
+                                                 c1 + c2, &c3);
+            result.words_[i + j + 1] = hi;
+            carry = 0;
+            // Propagate any carry out of the high word.
+            size_t k = i + j + 2;
+            unsigned c = c3;
+            while (c != 0 && k < result.words_.size()) {
+                result.words_[k] = add_uint64_carry(result.words_[k], 0, c, &c);
+                ++k;
+            }
+        }
+    }
+    result.trim();
+    return result;
+}
+
+BigUInt BigUInt::shr1() const {
+    BigUInt result = *this;
+    for (size_t i = 0; i < result.words_.size(); ++i) {
+        result.words_[i] >>= 1;
+        if (i + 1 < result.words_.size()) {
+            result.words_[i] |= result.words_[i + 1] << 63;
+        }
+    }
+    result.trim();
+    return result;
+}
+
+int BigUInt::compare(const BigUInt &other) const noexcept {
+    const size_t n = std::max(words_.size(), other.words_.size());
+    for (size_t i = n; i-- > 0;) {
+        const uint64_t a = word(i);
+        const uint64_t b = other.word(i);
+        if (a != b) {
+            return a < b ? -1 : 1;
+        }
+    }
+    return 0;
+}
+
+uint64_t BigUInt::mod_word(const Modulus &q) const noexcept {
+    // Horner: value = Σ w_i * (2^64)^i.  2^64 mod q is computed once.
+    const uint64_t base = barrett_reduce_128(Uint128{0, 1}, q);  // 2^64 mod q
+    uint64_t acc = 0;
+    for (size_t i = words_.size(); i-- > 0;) {
+        acc = mul_mod(acc, base, q);
+        acc = add_mod(acc, barrett_reduce_64(words_[i], q), q);
+    }
+    return acc;
+}
+
+double BigUInt::to_double() const noexcept {
+    double result = 0.0;
+    for (size_t i = words_.size(); i-- > 0;) {
+        result = result * 18446744073709551616.0 + static_cast<double>(words_[i]);
+    }
+    return result;
+}
+
+void BigUInt::trim() {
+    while (words_.size() > 1 && words_.back() == 0) {
+        words_.pop_back();
+    }
+}
+
+}  // namespace xehe::util

@@ -1,0 +1,182 @@
+// Word-size modular arithmetic: Barrett reduction, Harvey lazy multiplication,
+// the fused multiply-add reduction (the paper's mad_mod, Section III-A1), and
+// the lazy NTT butterflies (Algorithm 1 and its Gentleman-Sande inverse).
+//
+// Functional semantics only; the *instruction cost* difference between the
+// compiler-generated and inline-assembly sequences (Figures 3 and 4) is
+// modelled in xgpu::IsaCostTable, not here.
+#pragma once
+
+#include "util/modulus.h"
+
+namespace xehe::util {
+
+/// a + b mod q; inputs must be < q.
+inline uint64_t add_mod(uint64_t a, uint64_t b, const Modulus &q) noexcept {
+    assert(a < q.value() && b < q.value());
+    const uint64_t sum = a + b;
+    return sum >= q.value() ? sum - q.value() : sum;
+}
+
+/// a - b mod q; inputs must be < q.
+inline uint64_t sub_mod(uint64_t a, uint64_t b, const Modulus &q) noexcept {
+    assert(a < q.value() && b < q.value());
+    const uint64_t diff = a - b;
+    return a < b ? diff + q.value() : diff;
+}
+
+/// -a mod q; input must be < q.
+inline uint64_t negate_mod(uint64_t a, const Modulus &q) noexcept {
+    assert(a < q.value());
+    return a == 0 ? 0 : q.value() - a;
+}
+
+/// Barrett reduction of a 64-bit input (result < q, input unrestricted).
+inline uint64_t barrett_reduce_64(uint64_t input, const Modulus &q) noexcept {
+    const uint64_t approx = mul_uint64_hi(input, q.const_ratio_64());
+    uint64_t result = input - approx * q.value();
+    return result >= q.value() ? result - q.value() : result;
+}
+
+/// Barrett reduction of a 128-bit input (result < q).
+///
+/// Word-level algorithm identical to SEAL's barrett_reduce_128 using the
+/// precomputed floor(2^128/q).
+inline uint64_t barrett_reduce_128(Uint128 input, const Modulus &q) noexcept {
+    const Uint128 cr = q.const_ratio();
+    // Estimate floor(input * cr / 2^128) keeping only the words that matter.
+    unsigned carry_bit = 0;
+    const uint64_t r1_hi = mul_uint64_hi(input.lo, cr.lo);
+    const Uint128 r2 = mul_uint64_wide(input.lo, cr.hi);
+    const uint64_t t1 = add_uint64_carry(r2.lo, r1_hi, 0, &carry_bit);
+    const uint64_t t3 = r2.hi + carry_bit;
+    const Uint128 r3 = mul_uint64_wide(input.hi, cr.lo);
+    const uint64_t t1b = add_uint64_carry(t1, r3.lo, 0, &carry_bit);
+    const uint64_t carry = r3.hi + carry_bit;
+    const uint64_t estimate = input.hi * cr.hi + t3 + carry;
+    (void)t1b;
+    uint64_t result = input.lo - estimate * q.value();
+    // Estimate may undershoot by at most 1.
+    return result >= q.value() ? result - q.value() : result;
+}
+
+/// a * b mod q via Barrett reduction; a, b unrestricted 64-bit.
+inline uint64_t mul_mod(uint64_t a, uint64_t b, const Modulus &q) noexcept {
+    return barrett_reduce_128(mul_uint64_wide(a, b), q);
+}
+
+/// Fused (a * b + c) mod q with a single reduction (the paper's mad_mod).
+///
+/// Safe whenever a, b < 2^62 and c < 2^62: the 128-bit accumulator cannot
+/// overflow because a*b < 2^124.
+inline uint64_t mad_mod(uint64_t a, uint64_t b, uint64_t c, const Modulus &q) noexcept {
+    Uint128 acc = mul_uint64_wide(a, b);
+    acc = add_uint128(acc, Uint128{c, 0});
+    return barrett_reduce_128(acc, q);
+}
+
+/// Exponentiation a^e mod q.
+inline uint64_t pow_mod(uint64_t a, uint64_t e, const Modulus &q) noexcept {
+    uint64_t base = barrett_reduce_64(a, q);
+    uint64_t result = 1;
+    while (e != 0) {
+        if (e & 1) {
+            result = mul_mod(result, base, q);
+        }
+        base = mul_mod(base, base, q);
+        e >>= 1;
+    }
+    return result;
+}
+
+/// Modular inverse via Fermat (q prime).  Returns false if a == 0 mod q.
+inline bool try_invert_mod(uint64_t a, const Modulus &q, uint64_t *result) noexcept {
+    a = barrett_reduce_64(a, q);
+    if (a == 0) {
+        return false;
+    }
+    *result = pow_mod(a, q.value() - 2, q);
+    return true;
+}
+
+/// Harvey's precomputed multiplicand: y together with floor(y * 2^64 / q).
+///
+/// Enables a modular multiply with a single mul_hi and no division — the
+/// form used for NTT twiddle factors ("root power quotients" in the paper).
+struct MultiplyModOperand {
+    uint64_t operand = 0;   ///< y, reduced mod q.
+    uint64_t quotient = 0;  ///< floor(y * 2^64 / q).
+
+    MultiplyModOperand() = default;
+
+    MultiplyModOperand(uint64_t y, const Modulus &q) {
+        assert(y < q.value());
+        operand = y;
+        const uint128_t wide = static_cast<uint128_t>(y) << 64;
+        quotient = static_cast<uint64_t>(wide / q.value());
+    }
+};
+
+/// x * y mod q, lazy: result in [0, 2q).  x unrestricted.
+inline uint64_t mul_mod_lazy(uint64_t x, const MultiplyModOperand &y,
+                             const Modulus &q) noexcept {
+    const uint64_t approx = mul_uint64_hi(x, y.quotient);
+    return y.operand * x - approx * q.value();
+}
+
+/// x * y mod q, exact: result in [0, q).
+inline uint64_t mul_mod(uint64_t x, const MultiplyModOperand &y,
+                        const Modulus &q) noexcept {
+    const uint64_t r = mul_mod_lazy(x, y, q);
+    return r >= q.value() ? r - q.value() : r;
+}
+
+/// Forward NTT butterfly, Algorithm 1 of the paper (Harvey, lazy).
+///
+/// Inputs X, Y in [0, 4p); outputs X' = X + W*Y, Y' = X - W*Y (mod p),
+/// both in [0, 4p).  Requires p < 2^62.
+inline void forward_butterfly(uint64_t *x, uint64_t *y,
+                              const MultiplyModOperand &w,
+                              const Modulus &p) noexcept {
+    const uint64_t two_p = p.value() << 1;
+    uint64_t u = *x;
+    if (u >= two_p) {
+        u -= two_p;
+    }
+    const uint64_t t = mul_mod_lazy(*y, w, p);  // in [0, 2p)
+    *x = u + t;
+    *y = u - t + two_p;
+}
+
+/// Inverse NTT butterfly (Gentleman-Sande, lazy).
+///
+/// Inputs X, Y in [0, 2p); outputs X' = X + Y mod, Y' = W * (X - Y),
+/// both in [0, 2p).
+inline void inverse_butterfly(uint64_t *x, uint64_t *y,
+                              const MultiplyModOperand &w,
+                              const Modulus &p) noexcept {
+    const uint64_t two_p = p.value() << 1;
+    const uint64_t u = *x;
+    const uint64_t v = *y;
+    uint64_t sum = u + v;
+    if (sum >= two_p) {
+        sum -= two_p;
+    }
+    *x = sum;
+    *y = mul_mod_lazy(u - v + two_p, w, p);
+}
+
+/// Final correction from lazy range [0, 4p) down to [0, p) — the paper's
+/// "last round processing", fused into the final NTT kernel.
+inline uint64_t reduce_from_4p(uint64_t x, const Modulus &p) noexcept {
+    const uint64_t two_p = p.value() << 1;
+    if (x >= two_p) {
+        x -= two_p;
+    }
+    if (x >= p.value()) {
+        x -= p.value();
+    }
+    return x;
+}
+
+}  // namespace xehe::util

@@ -1,0 +1,65 @@
+// Modulus: a word-size prime modulus with a precomputed Barrett constant.
+//
+// Mirrors Microsoft SEAL's seal::Modulus.  All ciphertext arithmetic in the
+// paper happens under word-size (<= 60-bit) NTT-friendly primes so that
+// Harvey's lazy reduction (values kept in [0, 4p)) never overflows 64 bits.
+#pragma once
+
+#include "util/common.h"
+#include "util/uint128.h"
+
+namespace xehe::util {
+
+class Modulus {
+public:
+    /// Maximum supported modulus bit count (Harvey lazy reduction needs p < 2^62).
+    static constexpr int kMaxBits = 61;
+
+    Modulus() = default;
+
+    explicit Modulus(uint64_t value) { set_value(value); }
+
+    uint64_t value() const noexcept { return value_; }
+    bool is_zero() const noexcept { return value_ == 0; }
+    int bit_count() const noexcept { return bit_count_; }
+
+    /// floor(2^128 / value), low and high words.  Used by Barrett reduction
+    /// of 128-bit intermediates.
+    const Uint128 &const_ratio() const noexcept { return const_ratio_; }
+
+    /// floor(2^64 / value).  Used by Barrett reduction of 64-bit inputs.
+    uint64_t const_ratio_64() const noexcept { return const_ratio_64_; }
+
+    friend bool operator==(const Modulus &a, const Modulus &b) noexcept {
+        return a.value_ == b.value_;
+    }
+
+private:
+    void set_value(uint64_t value) {
+        require(value >= 2, "modulus must be at least 2");
+        require(significant_bits(value) <= kMaxBits, "modulus too large");
+        value_ = value;
+        bit_count_ = significant_bits(value);
+        // floor(2^128 / q) computed from (2^128 - 1) / q with adjustment for
+        // the final +1 (2^128 = (2^128 - 1) + 1).
+        const uint128_t all_ones = ~static_cast<uint128_t>(0);
+        uint128_t quotient = all_ones / value;
+        const uint64_t remainder = static_cast<uint64_t>(all_ones % value);
+        if (remainder + 1 == value) {
+            quotient += 1;
+        }
+        const_ratio_ = Uint128{static_cast<uint64_t>(quotient),
+                               static_cast<uint64_t>(quotient >> 64)};
+        const_ratio_64_ = static_cast<uint64_t>((~uint64_t{0}) / value);
+        if (((~uint64_t{0}) % value) + 1 == value) {
+            ++const_ratio_64_;
+        }
+    }
+
+    uint64_t value_ = 0;
+    int bit_count_ = 0;
+    Uint128 const_ratio_{};
+    uint64_t const_ratio_64_ = 0;
+};
+
+}  // namespace xehe::util

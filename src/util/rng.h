@@ -1,0 +1,63 @@
+// Randomness for key generation and encryption: uniform residues, ternary
+// secrets, and a centered-binomial error sampler standing in for the
+// discrete Gaussian (standard deviation ~3.2, as in SEAL).
+#pragma once
+
+#include <random>
+#include <span>
+#include <vector>
+
+#include "util/modulus.h"
+
+namespace xehe::util {
+
+class RandomGenerator {
+public:
+    explicit RandomGenerator(uint64_t seed = 0x5EA1C0DEull) : engine_(seed) {}
+
+    uint64_t uniform_uint64() { return engine_(); }
+
+    /// Uniform value in [0, q).
+    uint64_t uniform_mod(const Modulus &q) {
+        std::uniform_int_distribution<uint64_t> dist(0, q.value() - 1);
+        return dist(engine_);
+    }
+
+    /// Fills `out` with uniform residues mod q.
+    void uniform_poly(std::span<uint64_t> out, const Modulus &q) {
+        std::uniform_int_distribution<uint64_t> dist(0, q.value() - 1);
+        for (auto &x : out) {
+            x = dist(engine_);
+        }
+    }
+
+    /// Samples a ternary coefficient in {-1, 0, 1}, returned as a signed int.
+    int ternary() {
+        std::uniform_int_distribution<int> dist(-1, 1);
+        return dist(engine_);
+    }
+
+    /// Centered binomial error with standard deviation ~3.2 (eta = 21 gives
+    /// sigma = sqrt(21/2) ~ 3.24), clipped implicitly by construction.
+    int cbd_error() {
+        int sum = 0;
+        for (int i = 0; i < 21; ++i) {
+            sum += static_cast<int>(engine_() & 1);
+            sum -= static_cast<int>(engine_() & 1);
+        }
+        return sum;
+    }
+
+    std::mt19937_64 &engine() { return engine_; }
+
+private:
+    std::mt19937_64 engine_;
+};
+
+/// Maps a signed small value into [0, q) (centered representation).
+inline uint64_t signed_to_mod(int value, const Modulus &q) {
+    return value >= 0 ? static_cast<uint64_t>(value)
+                      : q.value() - static_cast<uint64_t>(-value);
+}
+
+}  // namespace xehe::util

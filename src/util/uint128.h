@@ -1,0 +1,76 @@
+// 64x64 -> 128-bit multiply and 128-bit helper arithmetic.
+//
+// Modern GPUs (including the paper's Intel Xe parts) have no native int64
+// multiplier; products are emulated from 32-bit halves.  On the host we use
+// the compiler's __int128 for the functional result, while the xgpu cost
+// model separately charges the emulated instruction sequence
+// (see xgpu::IsaCostTable).
+#pragma once
+
+#include "util/common.h"
+
+namespace xehe::util {
+
+using uint128_t = unsigned __int128;
+
+/// Two-word little-endian representation of a 128-bit value.
+struct Uint128 {
+    uint64_t lo = 0;
+    uint64_t hi = 0;
+
+    constexpr friend bool operator==(const Uint128 &a, const Uint128 &b) = default;
+};
+
+/// Full 128-bit product of two 64-bit operands.
+constexpr Uint128 mul_uint64_wide(uint64_t a, uint64_t b) noexcept {
+    const uint128_t p = static_cast<uint128_t>(a) * b;
+    return Uint128{static_cast<uint64_t>(p), static_cast<uint64_t>(p >> 64)};
+}
+
+/// High 64 bits of the product a*b.
+constexpr uint64_t mul_uint64_hi(uint64_t a, uint64_t b) noexcept {
+    return static_cast<uint64_t>((static_cast<uint128_t>(a) * b) >> 64);
+}
+
+/// Adds two 64-bit values plus carry; returns sum word and sets carry_out.
+constexpr uint64_t add_uint64_carry(uint64_t a, uint64_t b, unsigned carry_in,
+                                    unsigned *carry_out) noexcept {
+    const uint64_t sum = a + b;
+    unsigned carry = (sum < a) ? 1u : 0u;
+    const uint64_t result = sum + carry_in;
+    carry += (result < sum) ? 1u : 0u;
+    *carry_out = carry;
+    return result;
+}
+
+/// 128-bit addition (wrapping).
+constexpr Uint128 add_uint128(Uint128 a, Uint128 b) noexcept {
+    unsigned carry = 0;
+    const uint64_t lo = add_uint64_carry(a.lo, b.lo, 0, &carry);
+    const uint64_t hi = a.hi + b.hi + carry;
+    return Uint128{lo, hi};
+}
+
+/// 128-bit left shift by s in [0, 127].
+constexpr Uint128 shl_uint128(Uint128 a, int s) noexcept {
+    if (s == 0) {
+        return a;
+    }
+    if (s >= 64) {
+        return Uint128{0, a.lo << (s - 64)};
+    }
+    return Uint128{a.lo << s, (a.hi << s) | (a.lo >> (64 - s))};
+}
+
+/// 128-bit right shift by s in [0, 127].
+constexpr Uint128 shr_uint128(Uint128 a, int s) noexcept {
+    if (s == 0) {
+        return a;
+    }
+    if (s >= 64) {
+        return Uint128{a.hi >> (s - 64), 0};
+    }
+    return Uint128{(a.lo >> s) | (a.hi << (64 - s)), a.hi >> s};
+}
+
+}  // namespace xehe::util

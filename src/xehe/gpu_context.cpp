@@ -1,0 +1,40 @@
+#include "xehe/gpu_context.h"
+
+namespace xehe::core {
+
+GpuOptions baseline_options() {
+    GpuOptions opts;
+    opts.ntt_variant = ntt::NttVariant::NaiveRadix2;
+    opts.isa = xgpu::IsaMode::Compiler;
+    opts.tiles = 1;
+    opts.fuse_mad_mod = false;
+    opts.use_memory_cache = false;
+    opts.async = false;
+    return opts;
+}
+
+namespace {
+ntt::NttConfig make_ntt_config(const GpuOptions &options) {
+    ntt::NttConfig cfg;
+    cfg.variant = options.ntt_variant;
+    cfg.slm_block = options.slm_block;
+    cfg.wg_size = options.wg_size;
+    return cfg;
+}
+}  // namespace
+
+GpuContext::GpuContext(const ckks::CkksContext &host, xgpu::DeviceSpec spec,
+                       GpuOptions options)
+    : host_(&host), options_(options),
+      queue_(std::move(spec),
+             xgpu::ExecConfig{options.tiles, options.isa, true}),
+      gpu_ntt_(queue_, make_ntt_config(options)) {
+    queue_.cache().set_enabled(options_.use_memory_cache);
+    // Session-invariant data (moduli, root powers) is uploaded once at
+    // context creation (Fig. 1's "session invariant data" arrow).
+    const std::size_t table_bytes =
+        host.key_rns() * host.n() * 2 * sizeof(uint64_t) * 2;
+    queue_.transfer(table_bytes);
+}
+
+}  // namespace xehe::core

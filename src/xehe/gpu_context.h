@@ -1,0 +1,66 @@
+// GPU execution context: binds a host CKKS context to a simulated Intel GPU
+// queue, carrying the paper's optimization switches (NTT variant, inline
+// assembly, mad_mod fusion, memory cache, multi-tile submission, async
+// pipeline) so every experiment toggles exactly one knob.
+#pragma once
+
+#include "ckks/evaluator.h"
+#include "ntt/ntt_gpu.h"
+
+namespace xehe::core {
+
+struct GpuOptions {
+    ntt::NttVariant ntt_variant = ntt::NttVariant::LocalRadix8;
+    xgpu::IsaMode isa = xgpu::IsaMode::Compiler;
+    int tiles = 1;               ///< explicit multi-queue tile submission
+    bool fuse_mad_mod = true;    ///< fused multiply-add kernels (III-A1)
+    bool use_memory_cache = true;///< free/used pool recycling (III-C1)
+    bool async = true;           ///< no host sync between kernels (Fig. 2)
+    std::size_t slm_block = 4096;
+    std::size_t wg_size = 512;
+};
+
+/// Baseline configuration for the paper's comparisons: naive NTT, compiler
+/// ISA, single tile, no fusion, no memory cache, synchronous.
+GpuOptions baseline_options();
+
+class GpuContext {
+public:
+    GpuContext(const ckks::CkksContext &host, xgpu::DeviceSpec spec,
+               GpuOptions options = {});
+
+    const ckks::CkksContext &host() const noexcept { return *host_; }
+    xgpu::Queue &queue() noexcept { return queue_; }
+    const GpuOptions &options() const noexcept { return options_; }
+    ntt::GpuNtt &gpu_ntt() noexcept { return gpu_ntt_; }
+
+    /// Per-kernel-class simulated time, including the NTT / non-NTT split
+    /// used by Figures 5, 16 and 18.
+    xgpu::Profiler &profiler() noexcept { return queue_.profiler(); }
+
+    /// When false, kernels are costed but not executed (big sweeps).
+    void set_functional(bool functional) { queue_.set_functional(functional); }
+
+    /// Charges a host synchronization if the pipeline is synchronous.
+    void maybe_sync() {
+        if (!options_.async) {
+            queue_.wait();
+        }
+    }
+
+    /// Allocates device memory through the (optionally disabled) cache and
+    /// charges the allocation time to the timeline.
+    xgpu::DeviceBuffer allocate(std::size_t words) {
+        auto buffer = queue_.cache().allocate(words);
+        queue_.charge_alloc_time();
+        return buffer;
+    }
+
+private:
+    const ckks::CkksContext *host_;
+    GpuOptions options_;
+    xgpu::Queue queue_;
+    ntt::GpuNtt gpu_ntt_;
+};
+
+}  // namespace xehe::core

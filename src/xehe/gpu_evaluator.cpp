@@ -1,0 +1,481 @@
+#include "xehe/gpu_evaluator.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xehe::core {
+
+using util::Modulus;
+using xgpu::CoreOp;
+
+GpuEvaluator::GpuEvaluator(GpuContext &gpu)
+    : gpu_(&gpu), ctx_(&gpu.host()), galois_(gpu.host().n()) {}
+
+void GpuEvaluator::submit_dyadic(const char *name, std::size_t elements,
+                                 double ops_per_element, double streams,
+                                 std::function<void(std::size_t)> body,
+                                 bool is_ntt, double gmem_eff) {
+    xgpu::KernelStats stats;
+    stats.name = name;
+    stats.is_ntt = is_ntt;
+    stats.alu_ops = ops_per_element * static_cast<double>(elements);
+    // ops are computed for the active ISA mode already; don't rescale.
+    stats.asm_sensitive = 0.0;
+    stats.gmem_bytes = streams * 8.0 * static_cast<double>(elements);
+    stats.gmem_eff = gmem_eff;
+    xgpu::ElementwiseKernel kernel(name, elements, std::move(body), stats,
+                                   gpu_->options().wg_size);
+    gpu_->queue().submit(kernel);
+}
+
+GpuCiphertext GpuEvaluator::add(const GpuCiphertext &a, const GpuCiphertext &b) {
+    util::require(a.rns == b.rns && a.size == b.size, "add: shape mismatch");
+    util::require(std::abs(a.scale / b.scale - 1.0) < 1e-6, "add: scale mismatch");
+    GpuCiphertext out = allocate_ciphertext(*gpu_, a.size, a.rns, a.scale);
+    const std::size_t n = a.n;
+    const auto sa = a.all(), sb = b.all();
+    auto so = out.all();
+    const std::size_t per_poly = a.rns * n;
+    submit_dyadic("he_add", a.size * per_poly, op_cost(CoreOp::AddMod), 3.0,
+                  [=, this](std::size_t i) {
+                      const Modulus &q = modulus_at(i % per_poly, n);
+                      so[i] = util::add_mod(sa[i], sb[i], q);
+                  });
+    gpu_->maybe_sync();
+    return out;
+}
+
+void GpuEvaluator::add_inplace(GpuCiphertext &a, const GpuCiphertext &b) {
+    util::require(a.rns == b.rns && a.size == b.size, "add: shape mismatch");
+    const std::size_t n = a.n;
+    const std::size_t per_poly = a.rns * n;
+    auto sa = a.all();
+    const auto sb = b.all();
+    submit_dyadic("he_add", a.size * per_poly, op_cost(CoreOp::AddMod), 3.0,
+                  [=, this](std::size_t i) {
+                      const Modulus &q = modulus_at(i % per_poly, n);
+                      sa[i] = util::add_mod(sa[i], sb[i], q);
+                  });
+    gpu_->maybe_sync();
+}
+
+GpuCiphertext GpuEvaluator::sub(const GpuCiphertext &a, const GpuCiphertext &b) {
+    util::require(a.rns == b.rns && a.size == b.size, "sub: shape mismatch");
+    util::require(std::abs(a.scale / b.scale - 1.0) < 1e-6, "sub: scale mismatch");
+    GpuCiphertext out = allocate_ciphertext(*gpu_, a.size, a.rns, a.scale);
+    const std::size_t n = a.n;
+    const std::size_t per_poly = a.rns * n;
+    const auto sa = a.all(), sb = b.all();
+    auto so = out.all();
+    submit_dyadic("he_sub", a.size * per_poly, op_cost(CoreOp::SubMod), 3.0,
+                  [=, this](std::size_t i) {
+                      const Modulus &q = modulus_at(i % per_poly, n);
+                      so[i] = util::sub_mod(sa[i], sb[i], q);
+                  });
+    gpu_->maybe_sync();
+    return out;
+}
+
+GpuCiphertext GpuEvaluator::negate(const GpuCiphertext &a) {
+    GpuCiphertext out = allocate_ciphertext(*gpu_, a.size, a.rns, a.scale);
+    const std::size_t n = a.n;
+    const std::size_t per_poly = a.rns * n;
+    const auto sa = a.all();
+    auto so = out.all();
+    submit_dyadic("he_negate", a.size * per_poly, 2.0, 2.0,
+                  [=, this](std::size_t i) {
+                      so[i] = util::negate_mod(sa[i], modulus_at(i % per_poly, n));
+                  });
+    gpu_->maybe_sync();
+    return out;
+}
+
+GpuCiphertext GpuEvaluator::add_plain(const GpuCiphertext &a,
+                                      const ckks::Plaintext &p) {
+    util::require(a.rns == p.rns && a.n == p.n, "add_plain: level mismatch");
+    util::require(std::abs(a.scale / p.scale - 1.0) < 1e-6,
+                  "add_plain: scale mismatch");
+    GpuCiphertext out = allocate_ciphertext(*gpu_, a.size, a.rns, a.scale);
+    const std::size_t n = a.n;
+    const std::size_t per_poly = a.rns * n;
+    const auto sa = a.all();
+    const std::span<const uint64_t> sp(p.data);
+    auto so = out.all();
+    submit_dyadic("he_add_plain", a.size * per_poly, op_cost(CoreOp::AddMod), 3.0,
+                  [=, this](std::size_t i) {
+                      const Modulus &q = modulus_at(i % per_poly, n);
+                      // The plaintext is added only into c0.
+                      so[i] = i < per_poly ? util::add_mod(sa[i], sp[i], q)
+                                           : sa[i];
+                  });
+    gpu_->maybe_sync();
+    return out;
+}
+
+GpuCiphertext GpuEvaluator::multiply_plain(const GpuCiphertext &a,
+                                           const ckks::Plaintext &p) {
+    util::require(a.rns == p.rns && a.n == p.n, "multiply_plain: level mismatch");
+    GpuCiphertext out =
+        allocate_ciphertext(*gpu_, a.size, a.rns, a.scale * p.scale);
+    const std::size_t n = a.n;
+    const std::size_t per_poly = a.rns * n;
+    const auto sa = a.all();
+    const std::span<const uint64_t> sp(p.data);
+    auto so = out.all();
+    submit_dyadic("he_mul_plain", a.size * per_poly, op_cost(CoreOp::MulMod), 3.0,
+                  [=, this](std::size_t i) {
+                      const Modulus &q = modulus_at(i % per_poly, n);
+                      so[i] = util::mul_mod(sa[i], sp[i % per_poly], q);
+                  });
+    gpu_->maybe_sync();
+    return out;
+}
+
+GpuCiphertext GpuEvaluator::multiply(const GpuCiphertext &a,
+                                     const GpuCiphertext &b) {
+    util::require(a.size == 2 && b.size == 2 && a.rns == b.rns,
+                  "multiply expects size-2 operands at the same level");
+    GpuCiphertext out =
+        allocate_ciphertext(*gpu_, 3, a.rns, a.scale * b.scale);
+    const std::size_t n = a.n;
+    const std::size_t count = a.rns * n;
+    const auto a0 = a.poly(0), a1 = a.poly(1);
+    const auto b0 = b.poly(0), b1 = b.poly(1);
+    auto d0 = out.poly(0), d1 = out.poly(1), d2 = out.poly(2);
+
+    submit_dyadic("he_mul_d0", count, op_cost(CoreOp::MulMod), 3.0,
+                  [=, this](std::size_t i) {
+                      d0[i] = util::mul_mod(a0[i], b0[i], modulus_at(i, n));
+                  });
+    if (gpu_->options().fuse_mad_mod) {
+        submit_dyadic("he_mul_d1_fused", count,
+                      op_cost(CoreOp::MulMod) + op_cost(CoreOp::MadMod), 5.0,
+                      [=, this](std::size_t i) {
+                          const Modulus &q = modulus_at(i, n);
+                          const uint64_t t = util::mul_mod(a0[i], b1[i], q);
+                          d1[i] = util::mad_mod(a1[i], b0[i], t, q);
+                      });
+    } else {
+        submit_dyadic("he_mul_d1", count,
+                      2 * op_cost(CoreOp::MulMod) + op_cost(CoreOp::AddMod), 5.0,
+                      [=, this](std::size_t i) {
+                          const Modulus &q = modulus_at(i, n);
+                          const uint64_t t = util::mul_mod(a0[i], b1[i], q);
+                          d1[i] = util::add_mod(util::mul_mod(a1[i], b0[i], q), t, q);
+                      });
+    }
+    submit_dyadic("he_mul_d2", count, op_cost(CoreOp::MulMod), 3.0,
+                  [=, this](std::size_t i) {
+                      d2[i] = util::mul_mod(a1[i], b1[i], modulus_at(i, n));
+                  });
+    gpu_->maybe_sync();
+    return out;
+}
+
+GpuCiphertext GpuEvaluator::square(const GpuCiphertext &a) {
+    util::require(a.size == 2, "square expects a size-2 ciphertext");
+    GpuCiphertext out = allocate_ciphertext(*gpu_, 3, a.rns, a.scale * a.scale);
+    const std::size_t n = a.n;
+    const std::size_t count = a.rns * n;
+    const auto a0 = a.poly(0), a1 = a.poly(1);
+    auto d0 = out.poly(0), d1 = out.poly(1), d2 = out.poly(2);
+    submit_dyadic("he_square", count, 3 * op_cost(CoreOp::MulMod) +
+                      op_cost(CoreOp::AddMod), 5.0,
+                  [=, this](std::size_t i) {
+                      const Modulus &q = modulus_at(i, n);
+                      d0[i] = util::mul_mod(a0[i], a0[i], q);
+                      const uint64_t cross = util::mul_mod(a0[i], a1[i], q);
+                      d1[i] = util::add_mod(cross, cross, q);
+                      d2[i] = util::mul_mod(a1[i], a1[i], q);
+                  });
+    gpu_->maybe_sync();
+    return out;
+}
+
+void GpuEvaluator::multiply_acc(const GpuCiphertext &a, const GpuCiphertext &b,
+                                GpuCiphertext &acc) {
+    util::require(a.size == 2 && b.size == 2 && acc.size == 3,
+                  "multiply_acc expects size-2 inputs and a size-3 accumulator");
+    util::require(a.rns == b.rns && a.rns == acc.rns, "level mismatch");
+    const std::size_t n = a.n;
+    const std::size_t count = a.rns * n;
+    const auto a0 = a.poly(0), a1 = a.poly(1);
+    const auto b0 = b.poly(0), b1 = b.poly(1);
+    auto d0 = acc.poly(0), d1 = acc.poly(1), d2 = acc.poly(2);
+    acc.scale = a.scale * b.scale;
+
+    if (gpu_->options().fuse_mad_mod) {
+        // One fused pass: every output uses mad_mod (one reduction per
+        // multiply-add pair, Section III-A1).
+        submit_dyadic("he_mul_acc_fused", count, 4 * op_cost(CoreOp::MadMod), 9.0,
+                      [=, this](std::size_t i) {
+                          const Modulus &q = modulus_at(i, n);
+                          d0[i] = util::mad_mod(a0[i], b0[i], d0[i], q);
+                          const uint64_t t = util::mad_mod(a0[i], b1[i], d1[i], q);
+                          d1[i] = util::mad_mod(a1[i], b0[i], t, q);
+                          d2[i] = util::mad_mod(a1[i], b1[i], d2[i], q);
+                      });
+    } else {
+        submit_dyadic("he_mul_acc", count,
+                      4 * op_cost(CoreOp::MulModAddMod), 9.0,
+                      [=, this](std::size_t i) {
+                          const Modulus &q = modulus_at(i, n);
+                          d0[i] = util::add_mod(util::mul_mod(a0[i], b0[i], q),
+                                                d0[i], q);
+                          uint64_t t = util::add_mod(
+                              util::mul_mod(a0[i], b1[i], q), d1[i], q);
+                          d1[i] = util::add_mod(util::mul_mod(a1[i], b0[i], q),
+                                                t, q);
+                          d2[i] = util::add_mod(util::mul_mod(a1[i], b1[i], q),
+                                                d2[i], q);
+                      });
+    }
+    gpu_->maybe_sync();
+}
+
+void GpuEvaluator::switch_key_inplace(GpuCiphertext &dest,
+                                      std::span<const uint64_t> target,
+                                      const KSwitchKey &key) {
+    const std::size_t n = ctx_->n();
+    const std::size_t l = dest.rns;
+    const std::size_t special = ctx_->key_rns() - 1;
+    const Modulus &p = ctx_->special_prime();
+    util::require(target.size() == l * n, "switch-key target size mismatch");
+
+    // 1. Digits need the coefficient representation.
+    auto target_coeff = gpu_->allocate(l * n);
+    {
+        auto dst = target_coeff.span();
+        submit_dyadic("ks_copy", l * n, 0.0, 2.0,
+                      [=](std::size_t i) { dst[i] = target[i]; });
+    }
+    gpu_->gpu_ntt().inverse(target_coeff.span(), 1, ctx_->tables(l));
+
+    // 2. Inner products over the extended base {q_0..q_{l-1}, p}.
+    auto acc0 = gpu_->allocate((l + 1) * n);
+    auto acc1 = gpu_->allocate((l + 1) * n);
+    auto digits = gpu_->allocate(l * n);
+    for (std::size_t j = 0; j <= l; ++j) {
+        const std::size_t mod_idx = (j < l) ? j : special;
+        const Modulus &mj = ctx_->key_modulus()[mod_idx];
+        // Build all l digits under m_j.
+        {
+            const auto src = target_coeff.span();
+            auto dst = digits.span();
+            submit_dyadic("ks_reduce_digits", l * n, 4.0, 2.0,
+                          [=](std::size_t i) {
+                              const std::size_t comp = i / n;
+                              dst[i] = comp == mod_idx
+                                           ? src[i]
+                                           : util::barrett_reduce_64(src[i], mj);
+                          });
+        }
+        gpu_->gpu_ntt().forward(digits.span(), l, table_span(mod_idx));
+        // Accumulate digit_i ⊙ key_i into acc0/acc1 under m_j.
+        {
+            const auto dig = digits.span();
+            auto a0 = acc0.span().subspan(j * n, n);
+            auto a1 = acc1.span().subspan(j * n, n);
+            const KSwitchKey *kptr = &key;
+            const double mad2 = 2.0 * op_cost(CoreOp::MadMod);
+            submit_dyadic("ks_inner_product", n, mad2 * static_cast<double>(l),
+                          2.0 * static_cast<double>(l) + 4.0,
+                          [=](std::size_t k) {
+                              uint64_t s0 = a0[k], s1 = a1[k];
+                              for (std::size_t i = 0; i < l; ++i) {
+                                  const uint64_t d = dig[i * n + k];
+                                  const auto k0 =
+                                      kptr->keys[i].component(0, mod_idx);
+                                  const auto k1 =
+                                      kptr->keys[i].component(1, mod_idx);
+                                  s0 = util::mad_mod(d, k0[k], s0, mj);
+                                  s1 = util::mad_mod(d, k1[k], s1, mj);
+                              }
+                              a0[k] = s0;
+                              a1[k] = s1;
+                          });
+        }
+    }
+
+    // 3. Mod-down by the special prime with rounding.
+    const uint64_t half = ctx_->half(special);
+    auto t_buf = gpu_->allocate(n);
+    for (int part = 0; part < 2; ++part) {
+        auto &acc = part == 0 ? acc0 : acc1;
+        auto sp = acc.span().subspan(l * n, n);
+        gpu_->gpu_ntt().inverse(sp, 1, table_span(special));
+        submit_dyadic("ks_add_half", n, op_cost(CoreOp::AddMod), 2.0,
+                      [=](std::size_t k) {
+                          sp[k] = util::add_mod(sp[k], half, p);
+                      });
+        for (std::size_t j = 0; j < l; ++j) {
+            const Modulus &qj = ctx_->key_modulus()[j];
+            const uint64_t half_mod = ctx_->half_mod(special, j);
+            auto t = t_buf.span();
+            submit_dyadic("ks_reduce_special", n,
+                          4.0 + op_cost(CoreOp::SubMod), 2.0,
+                          [=](std::size_t k) {
+                              t[k] = util::sub_mod(
+                                  util::barrett_reduce_64(sp[k], qj), half_mod,
+                                  qj);
+                          });
+            gpu_->gpu_ntt().forward(t, 1, table_span(j));
+            auto aj = acc.span().subspan(j * n, n);
+            auto dst = dest.component(static_cast<std::size_t>(part), j);
+            const auto inv_p = ctx_->inv_mod(special, j);
+            submit_dyadic("ks_mod_down", n,
+                          op_cost(CoreOp::SubMod) + op_cost(CoreOp::MulMod) +
+                              op_cost(CoreOp::AddMod),
+                          4.0, [=](std::size_t k) {
+                              const uint64_t diff = util::sub_mod(aj[k], t[k], qj);
+                              dst[k] = util::add_mod(
+                                  dst[k], util::mul_mod(diff, inv_p, qj), qj);
+                          });
+        }
+    }
+}
+
+GpuCiphertext GpuEvaluator::relinearize(const GpuCiphertext &a,
+                                        const RelinKeys &keys) {
+    util::require(a.size == 3, "relinearize expects a size-3 ciphertext");
+    GpuCiphertext out = allocate_ciphertext(*gpu_, 2, a.rns, a.scale);
+    const auto src = a.all();
+    auto dst = out.all();
+    const std::size_t copy_count = 2 * a.rns * a.n;
+    submit_dyadic("relin_copy", copy_count, 0.0, 2.0,
+                  [=](std::size_t i) { dst[i] = src[i]; });
+    switch_key_inplace(out, a.poly(2), keys.key);
+    gpu_->maybe_sync();
+    return out;
+}
+
+GpuCiphertext GpuEvaluator::rescale(const GpuCiphertext &a) {
+    util::require(a.rns >= 2, "cannot rescale at the last level");
+    const std::size_t n = a.n;
+    const std::size_t last = a.rns - 1;
+    const Modulus &q_last = ctx_->key_modulus()[last];
+    const uint64_t half = ctx_->half(last);
+
+    GpuCiphertext out = allocate_ciphertext(
+        *gpu_, a.size, a.rns - 1, a.scale / static_cast<double>(q_last.value()));
+    auto last_coeff = gpu_->allocate(n);
+    auto t_buf = gpu_->allocate(n);
+    for (std::size_t poly_i = 0; poly_i < a.size; ++poly_i) {
+        const auto src_last = a.component(poly_i, last);
+        auto lc = last_coeff.span();
+        submit_dyadic("rs_copy_last", n, 0.0, 2.0,
+                      [=](std::size_t k) { lc[k] = src_last[k]; });
+        gpu_->gpu_ntt().inverse(lc, 1, table_span(last));
+        submit_dyadic("rs_add_half", n, op_cost(CoreOp::AddMod), 2.0,
+                      [=](std::size_t k) {
+                          lc[k] = util::add_mod(lc[k], half, q_last);
+                      });
+        for (std::size_t j = 0; j < last; ++j) {
+            const Modulus &qj = ctx_->key_modulus()[j];
+            const uint64_t half_mod = ctx_->half_mod(last, j);
+            auto t = t_buf.span();
+            submit_dyadic("rs_reduce", n, 4.0 + op_cost(CoreOp::SubMod), 2.0,
+                          [=](std::size_t k) {
+                              t[k] = util::sub_mod(
+                                  util::barrett_reduce_64(lc[k], qj), half_mod,
+                                  qj);
+                          });
+            gpu_->gpu_ntt().forward(t, 1, table_span(j));
+            const auto src = a.component(poly_i, j);
+            auto dst = out.component(poly_i, j);
+            const auto inv_q = ctx_->inv_mod(last, j);
+            submit_dyadic("rs_divide", n,
+                          op_cost(CoreOp::SubMod) + op_cost(CoreOp::MulMod), 3.0,
+                          [=](std::size_t k) {
+                              dst[k] = util::mul_mod(
+                                  util::sub_mod(src[k], t[k], qj), inv_q, qj);
+                          });
+        }
+    }
+    gpu_->maybe_sync();
+    return out;
+}
+
+GpuCiphertext GpuEvaluator::mod_switch(const GpuCiphertext &a) {
+    util::require(a.rns >= 2, "cannot switch below one prime");
+    GpuCiphertext out = allocate_ciphertext(*gpu_, a.size, a.rns - 1, a.scale);
+    const std::size_t n = a.n;
+    const std::size_t new_rns = a.rns - 1;
+    const std::size_t count = a.size * new_rns * n;
+    const auto src_rns = a.rns;
+    const auto src = a.all();
+    auto dst = out.all();
+    submit_dyadic("mod_switch_copy", count, 0.0, 2.0, [=](std::size_t i) {
+        const std::size_t poly_i = i / (new_rns * n);
+        const std::size_t rest = i % (new_rns * n);
+        dst[i] = src[poly_i * src_rns * n + rest];
+    });
+    gpu_->maybe_sync();
+    return out;
+}
+
+GpuCiphertext GpuEvaluator::rotate(const GpuCiphertext &a, int step,
+                                   const GaloisKeys &keys) {
+    util::require(a.size == 2, "rotate expects a size-2 ciphertext");
+    const uint64_t elt = galois_.elt_from_step(step);
+    const std::size_t n = a.n;
+    GpuCiphertext out = allocate_ciphertext(*gpu_, 2, a.rns, a.scale);
+    auto rotated_c1 = gpu_->allocate(a.rns * n);
+
+    // Galois permutation of both polynomials (a gather, poorly coalesced).
+    for (std::size_t r = 0; r < a.rns; ++r) {
+        const auto c0 = a.component(0, r);
+        const auto c1 = a.component(1, r);
+        auto o0 = out.component(0, r);
+        auto g1 = rotated_c1.span().subspan(r * n, n);
+        const ckks::GaloisTool *tool = &galois_;
+        submit_dyadic("galois_permute", n, 6.0, 4.0,
+                      [=](std::size_t) { /* executed once below */ },
+                      false, 0.25);
+        // The permutation itself is applied as a whole (table-driven).
+        if (gpu_->queue().functional()) {
+            tool->apply_ntt(c0, elt, o0);
+            tool->apply_ntt(c1, elt, g1);
+        }
+    }
+    if (elt != 1) {
+        switch_key_inplace(out, rotated_c1.span(), keys.key(elt));
+    } else {
+        const auto src = a.poly(1);
+        auto dst = out.poly(1);
+        submit_dyadic("rotate_identity_copy", a.rns * n, 0.0, 2.0,
+                      [=](std::size_t i) { dst[i] = src[i]; });
+    }
+    gpu_->maybe_sync();
+    return out;
+}
+
+GpuCiphertext GpuEvaluator::mul_lin(const GpuCiphertext &a, const GpuCiphertext &b,
+                                    const RelinKeys &keys) {
+    return relinearize(multiply(a, b), keys);
+}
+
+GpuCiphertext GpuEvaluator::mul_lin_rs(const GpuCiphertext &a,
+                                       const GpuCiphertext &b,
+                                       const RelinKeys &keys) {
+    return rescale(relinearize(multiply(a, b), keys));
+}
+
+GpuCiphertext GpuEvaluator::sqr_lin_rs(const GpuCiphertext &a,
+                                       const RelinKeys &keys) {
+    return rescale(relinearize(square(a), keys));
+}
+
+GpuCiphertext GpuEvaluator::mul_lin_rs_modsw_add(const GpuCiphertext &a,
+                                                 const GpuCiphertext &b,
+                                                 const GpuCiphertext &c,
+                                                 const RelinKeys &keys) {
+    GpuCiphertext prod = mul_lin_rs(a, b, keys);
+    GpuCiphertext c_down = mod_switch(c);
+    // Align scales for the addition (CKKS approximate-scale bookkeeping).
+    c_down.scale = prod.scale;
+    add_inplace(prod, c_down);
+    return prod;
+}
+
+}  // namespace xehe::core

@@ -1,0 +1,80 @@
+#include "xehe/routines.h"
+
+#include <random>
+
+#include "ckks/encoder.h"
+
+namespace xehe::core {
+
+const char *routine_name(Routine r) {
+    switch (r) {
+        case Routine::MulLin: return "MulLin";
+        case Routine::MulLinRS: return "MulLinRS";
+        case Routine::SqrLinRS: return "SqrLinRS";
+        case Routine::MulLinRSModSwAdd: return "MulLinRSModSwAdd";
+        case Routine::Rotate: return "Rotate";
+    }
+    return "unknown";
+}
+
+RoutineBench::RoutineBench(const ckks::CkksContext &host, xgpu::DeviceSpec device,
+                           GpuOptions options, bool functional, uint64_t seed)
+    : host_(&host), gpu_(host, std::move(device), options), evaluator_(gpu_),
+      functional_(functional), keygen_(host, seed) {
+    gpu_.set_functional(functional);
+    relin_ = keygen_.create_relin_keys();
+    const int steps[] = {1};
+    galois_ = keygen_.create_galois_keys(steps);
+
+    input_a_ = make_input();
+    input_b_ = make_input();
+    input_c_ = make_input();
+}
+
+GpuCiphertext RoutineBench::make_input(std::size_t size) {
+    constexpr double kScale = 1099511627776.0;  // 2^40
+    if (!functional_) {
+        return allocate_ciphertext(gpu_, size, host_->max_level(), kScale);
+    }
+    ckks::CkksEncoder encoder(*host_);
+    ckks::Encryptor encryptor(*host_, keygen_.create_public_key());
+    std::mt19937_64 rng(host_->n());
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<double> values(host_->slots());
+    for (auto &v : values) {
+        v = dist(rng);
+    }
+    const auto plain = encoder.encode(std::span<const double>(values), kScale);
+    return upload(gpu_, encryptor.encrypt(plain));
+}
+
+RoutineProfile RoutineBench::run(Routine routine) {
+    auto &profiler = gpu_.queue().profiler();
+    const double ntt0 = profiler.ntt_ns();
+    const double total0 = profiler.total_ns();
+
+    switch (routine) {
+        case Routine::MulLin:
+            evaluator_.mul_lin(input_a_, input_b_, relin_);
+            break;
+        case Routine::MulLinRS:
+            evaluator_.mul_lin_rs(input_a_, input_b_, relin_);
+            break;
+        case Routine::SqrLinRS:
+            evaluator_.sqr_lin_rs(input_a_, relin_);
+            break;
+        case Routine::MulLinRSModSwAdd:
+            evaluator_.mul_lin_rs_modsw_add(input_a_, input_b_, input_c_, relin_);
+            break;
+        case Routine::Rotate:
+            evaluator_.rotate(input_a_, 1, galois_);
+            break;
+    }
+
+    RoutineProfile profile;
+    profile.ntt_ms = (profiler.ntt_ns() - ntt0) * 1e-6;
+    profile.other_ms = (profiler.total_ns() - total0 - (profiler.ntt_ns() - ntt0)) * 1e-6;
+    return profile;
+}
+
+}  // namespace xehe::core

@@ -1,0 +1,55 @@
+// Harness for the five HE evaluation routines benchmarked in Section IV-C:
+// builds inputs (encrypted when functional, fabricated for cost-only
+// sweeps), runs one routine on the GPU evaluator, and reports the NTT /
+// non-NTT simulated-time split the paper's Figures 5, 16 and 18 plot.
+#pragma once
+
+#include "xehe/gpu_evaluator.h"
+
+namespace xehe::core {
+
+enum class Routine { MulLin, MulLinRS, SqrLinRS, MulLinRSModSwAdd, Rotate };
+
+inline constexpr Routine kAllRoutines[] = {
+    Routine::MulLin, Routine::MulLinRS, Routine::SqrLinRS,
+    Routine::MulLinRSModSwAdd, Routine::Rotate};
+
+const char *routine_name(Routine r);
+
+struct RoutineProfile {
+    double ntt_ms = 0.0;
+    double other_ms = 0.0;
+    double total_ms() const noexcept { return ntt_ms + other_ms; }
+    double ntt_fraction() const noexcept {
+        return total_ms() > 0 ? ntt_ms / total_ms() : 0.0;
+    }
+};
+
+/// Owns the host-side scheme objects and GPU-resident inputs for routine
+/// benchmarking; reusable across routines and configurations.
+class RoutineBench {
+public:
+    /// `functional = false` fabricates ciphertexts without encryption and
+    /// runs kernels cost-only (the paper's N = 32K operating point).
+    RoutineBench(const ckks::CkksContext &host, xgpu::DeviceSpec device,
+                 GpuOptions options, bool functional, uint64_t seed = 99);
+
+    /// Runs one routine and returns its kernel-time profile.
+    RoutineProfile run(Routine routine);
+
+    GpuContext &gpu() noexcept { return gpu_; }
+
+private:
+    GpuCiphertext make_input(std::size_t size = 2);
+
+    const ckks::CkksContext *host_;
+    GpuContext gpu_;
+    GpuEvaluator evaluator_;
+    bool functional_;
+    ckks::KeyGenerator keygen_;
+    ckks::RelinKeys relin_;
+    ckks::GaloisKeys galois_;
+    GpuCiphertext input_a_, input_b_, input_c_;
+};
+
+}  // namespace xehe::core

@@ -1,0 +1,60 @@
+#include "xgpu/buffer.h"
+
+namespace xehe::xgpu {
+
+DeviceBuffer &DeviceBuffer::operator=(DeviceBuffer &&other) noexcept {
+    if (this != &other) {
+        if (cache_ != nullptr && storage_.capacity() != 0) {
+            cache_->release(std::move(storage_));
+        }
+        storage_ = std::move(other.storage_);
+        size_ = other.size_;
+        cache_ = other.cache_;
+        other.storage_ = {};
+        other.size_ = 0;
+        other.cache_ = nullptr;
+    }
+    return *this;
+}
+
+DeviceBuffer::~DeviceBuffer() {
+    if (cache_ != nullptr && storage_.capacity() != 0) {
+        cache_->release(std::move(storage_));
+    }
+}
+
+DeviceBuffer MemoryCache::allocate(std::size_t words) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.requests;
+    if (enabled_) {
+        // Smallest free buffer with capacity >= request.
+        auto it = free_pool_.lower_bound(words);
+        if (it != free_pool_.end()) {
+            std::vector<uint64_t> storage = std::move(it->second);
+            free_pool_.erase(it);
+            ++stats_.cache_hits;
+            stats_.sim_alloc_ns += spec_.cached_malloc_overhead_ns;
+            std::fill(storage.begin(), storage.begin() + words, 0);
+            return DeviceBuffer(std::move(storage), words, this);
+        }
+    }
+    ++stats_.device_allocs;
+    stats_.sim_alloc_ns += spec_.malloc_overhead_ns;
+    std::vector<uint64_t> storage(words, 0);
+    return DeviceBuffer(std::move(storage), words, this);
+}
+
+void MemoryCache::release(std::vector<uint64_t> &&storage) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.frees;
+    if (enabled_) {
+        free_pool_.emplace(storage.capacity(), std::move(storage));
+    }
+}
+
+void MemoryCache::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_pool_.clear();
+}
+
+}  // namespace xehe::xgpu

@@ -1,0 +1,37 @@
+#include "xgpu/device.h"
+
+namespace xehe::xgpu {
+
+DeviceSpec device1() {
+    DeviceSpec spec;
+    spec.name = "Device1";
+    spec.tiles = 2;
+    spec.subslices_per_tile = 32;
+    spec.eus_per_subslice = 16;          // 512 EUs per tile
+    spec.freq_ghz = 1.4;
+    spec.int64_ops_per_cycle_per_eu = 2.0;
+    spec.gmem_bytes_per_cycle_per_tile = 136.0;   // ~191 GB/s per tile
+    spec.slm_bytes_per_cycle_per_subslice = 64.0;
+    spec.alu_efficiency = 0.36;
+    spec.asm_alu_factor = 0.725;
+    spec.multi_tile_efficiency = 0.80;
+    return spec;
+}
+
+DeviceSpec device2() {
+    DeviceSpec spec;
+    spec.name = "Device2";
+    spec.tiles = 1;
+    spec.subslices_per_tile = 16;
+    spec.eus_per_subslice = 16;          // 256 EUs
+    spec.freq_ghz = 1.3;
+    spec.int64_ops_per_cycle_per_eu = 2.0;
+    spec.gmem_bytes_per_cycle_per_tile = 102.0;   // ~133 GB/s
+    spec.slm_bytes_per_cycle_per_subslice = 64.0;
+    spec.alu_efficiency = 0.67;
+    spec.asm_alu_factor = 0.778;
+    spec.slm_exchange_scale = 1.63;
+    return spec;
+}
+
+}  // namespace xehe::xgpu

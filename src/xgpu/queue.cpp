@@ -1,0 +1,41 @@
+#include "xgpu/queue.h"
+
+namespace xehe::xgpu {
+
+double Queue::submit(const Kernel &kernel) {
+    const NdRange range = kernel.range();
+    if (functional_ && range.work_groups > 0) {
+        const std::size_t slm_words = kernel.slm_words();
+        const std::size_t local = range.local_size;
+        pool_->parallel_for(range.work_groups, [&](std::size_t group) {
+            WorkGroup wg(group, local, slm_words);
+            kernel.run(wg);
+        });
+    }
+    const double time_ns = model_.kernel_time_ns(kernel.stats(), cfg_);
+    profiler_.record(kernel.stats(), time_ns);
+    clock_ns_ += time_ns;
+    return time_ns;
+}
+
+void Queue::wait() {
+    clock_ns_ += model_.spec().host_sync_overhead_ns;
+}
+
+double Queue::transfer(std::size_t bytes) {
+    // Host<->device link modelled at a quarter of single-tile memory
+    // bandwidth (PCIe-class).
+    const double bw = model_.spec().gmem_bandwidth(1) / 4.0;
+    const double time_ns = static_cast<double>(bytes) / bw * 1e9 +
+                           model_.spec().kernel_launch_overhead_ns;
+    clock_ns_ += time_ns;
+    return time_ns;
+}
+
+void Queue::charge_alloc_time() {
+    const double total = cache_.stats().sim_alloc_ns;
+    clock_ns_ += total - charged_alloc_ns_;
+    charged_alloc_ns_ = total;
+}
+
+}  // namespace xehe::xgpu

@@ -1,0 +1,116 @@
+// In-order command queue with a simulated device timeline, matching the
+// paper's asynchronous execution scheme (Fig. 2): kernels are submitted
+// without host synchronization; the host blocks only when results are
+// downloaded (Decrypt).  A Profiler records per-kernel-class simulated time
+// and the NTT / non-NTT split used by Figures 5, 16 and 18.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "xgpu/buffer.h"
+#include "xgpu/kernel.h"
+#include "xgpu/threadpool.h"
+
+namespace xehe::xgpu {
+
+/// Accumulates simulated time per kernel class.
+class Profiler {
+public:
+    struct Entry {
+        std::size_t launches = 0;
+        double time_ns = 0.0;
+        double alu_ops = 0.0;
+        bool is_ntt = false;
+    };
+
+    void record(const KernelStats &stats, double time_ns) {
+        Entry &e = entries_[stats.name];
+        ++e.launches;
+        e.time_ns += time_ns;
+        e.alu_ops += stats.alu_ops;
+        e.is_ntt = stats.is_ntt;
+        total_ns_ += time_ns;
+        total_alu_ops_ += stats.alu_ops;
+        if (stats.is_ntt) {
+            ntt_ns_ += time_ns;
+        }
+    }
+
+    double total_ns() const noexcept { return total_ns_; }
+    double total_alu_ops() const noexcept { return total_alu_ops_; }
+    double ntt_ns() const noexcept { return ntt_ns_; }
+    double other_ns() const noexcept { return total_ns_ - ntt_ns_; }
+    double ntt_fraction() const noexcept {
+        return total_ns_ > 0.0 ? ntt_ns_ / total_ns_ : 0.0;
+    }
+
+    const std::map<std::string, Entry> &entries() const noexcept { return entries_; }
+
+    void reset() {
+        entries_.clear();
+        total_ns_ = 0.0;
+        total_alu_ops_ = 0.0;
+        ntt_ns_ = 0.0;
+    }
+
+private:
+    std::map<std::string, Entry> entries_;
+    double total_ns_ = 0.0;
+    double total_alu_ops_ = 0.0;
+    double ntt_ns_ = 0.0;
+};
+
+class Queue {
+public:
+    /// `cfg.tiles > 1` models the paper's explicit multi-queue submission to
+    /// a multi-tile device.
+    explicit Queue(DeviceSpec spec, ExecConfig cfg = {},
+                   ThreadPool *pool = &ThreadPool::global())
+        : model_(std::move(spec)), cfg_(cfg), pool_(pool),
+          cache_(model_.spec()) {}
+
+    const DeviceSpec &spec() const noexcept { return model_.spec(); }
+    const CostModel &cost_model() const noexcept { return model_; }
+    ExecConfig &config() noexcept { return cfg_; }
+    const ExecConfig &config() const noexcept { return cfg_; }
+    MemoryCache &cache() noexcept { return cache_; }
+    Profiler &profiler() noexcept { return profiler_; }
+
+    /// When false, kernels are only costed, not executed (used by the big
+    /// parameter sweeps in bench/; tests always run functionally).
+    void set_functional(bool functional) noexcept { functional_ = functional; }
+    bool functional() const noexcept { return functional_; }
+
+    /// Submits a kernel; returns its simulated duration in ns and advances
+    /// the device clock.  Non-blocking on the host.
+    double submit(const Kernel &kernel);
+
+    /// Blocking host synchronization (charges host_sync_overhead).
+    void wait();
+
+    /// Simulated host->device or device->host transfer of `bytes`.
+    double transfer(std::size_t bytes);
+
+    /// Device clock (ns since last reset).
+    double clock_ns() const noexcept { return clock_ns_; }
+    void reset_clock() noexcept { clock_ns_ = 0.0; }
+
+    /// Charges the memory cache's accumulated allocation time since the
+    /// last call onto the timeline (allocation happens on the critical path
+    /// of the HE pipeline when the cache misses).
+    void charge_alloc_time();
+
+private:
+    CostModel model_;
+    ExecConfig cfg_;
+    ThreadPool *pool_;
+    MemoryCache cache_;
+    Profiler profiler_;
+    bool functional_ = true;
+    double clock_ns_ = 0.0;
+    double charged_alloc_ns_ = 0.0;
+};
+
+}  // namespace xehe::xgpu

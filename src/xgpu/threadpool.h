@@ -1,0 +1,57 @@
+// A small persistent thread pool used to execute simulated GPU work-groups
+// on host cores.  parallel_for blocks until all indices are processed;
+// work is handed out in chunks through an atomic counter.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/common.h"
+
+namespace xehe::xgpu {
+
+class ThreadPool {
+public:
+    explicit ThreadPool(unsigned worker_count = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    unsigned worker_count() const noexcept {
+        return static_cast<unsigned>(workers_.size()) + 1;
+    }
+
+    /// Runs fn(i) for i in [0, count), distributing across workers.
+    /// The calling thread participates.  Blocks until complete.
+    void parallel_for(std::size_t count, const std::function<void(std::size_t)> &fn);
+
+    /// Process-wide shared pool.
+    static ThreadPool &global();
+
+private:
+    struct Job {
+        std::size_t count = 0;
+        const std::function<void(std::size_t)> *fn = nullptr;
+        std::atomic<std::size_t> next{0};
+        std::atomic<std::size_t> done{0};
+    };
+
+    void worker_loop();
+    static void run_chunks(Job &job);
+
+    std::vector<std::thread> workers_;
+    std::mutex mutex_;
+    std::condition_variable cv_work_;
+    std::condition_variable cv_done_;
+    std::shared_ptr<Job> job_;
+    bool stop_ = false;
+    uint64_t generation_ = 0;
+};
+
+}  // namespace xehe::xgpu

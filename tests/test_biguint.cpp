@@ -1,0 +1,113 @@
+// Tests for the arbitrary-precision unsigned integer substrate.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "util/biguint.h"
+#include "util/modarith.h"
+
+namespace xu = xehe::util;
+
+TEST(BigUInt, Basics) {
+    xu::BigUInt zero;
+    EXPECT_TRUE(zero.is_zero());
+    EXPECT_EQ(zero.significant_bit_count(), 0);
+
+    xu::BigUInt v(42);
+    EXPECT_FALSE(v.is_zero());
+    EXPECT_EQ(v.word(0), 42ull);
+    EXPECT_EQ(v.word(5), 0ull) << "out-of-range words read as zero";
+    EXPECT_EQ(v.significant_bit_count(), 6);
+}
+
+TEST(BigUInt, AddCarriesAcrossWords) {
+    xu::BigUInt a(~0ull);
+    a.add_assign(xu::BigUInt(1));
+    EXPECT_EQ(a.word(0), 0ull);
+    EXPECT_EQ(a.word(1), 1ull);
+    EXPECT_EQ(a.significant_bit_count(), 65);
+}
+
+TEST(BigUInt, SubBorrowsAcrossWords) {
+    xu::BigUInt a = xu::BigUInt::from_words({0, 1});  // 2^64
+    a.sub_assign(xu::BigUInt(1));
+    EXPECT_EQ(a.word(0), ~0ull);
+    EXPECT_EQ(a.word(1), 0ull);
+}
+
+TEST(BigUInt, Compare) {
+    const xu::BigUInt a = xu::BigUInt::from_words({5, 7});
+    const xu::BigUInt b = xu::BigUInt::from_words({9, 7});
+    const xu::BigUInt c = xu::BigUInt::from_words({5, 7, 0});  // trailing zero
+    EXPECT_LT(a.compare(b), 0);
+    EXPECT_GT(b.compare(a), 0);
+    EXPECT_TRUE(a == c);
+}
+
+TEST(BigUInt, MulWord) {
+    xu::BigUInt a(~0ull);
+    a.mul_word_assign(~0ull);
+    // (2^64 - 1)^2 = 2^128 - 2^65 + 1
+    EXPECT_EQ(a.word(0), 1ull);
+    EXPECT_EQ(a.word(1), ~0ull - 1);
+}
+
+TEST(BigUInt, MulMatchesNative128) {
+    std::mt19937_64 rng(23);
+    for (int i = 0; i < 200; ++i) {
+        const uint64_t x = rng(), y = rng();
+        const auto prod = xu::BigUInt(x).mul(xu::BigUInt(y));
+        const unsigned __int128 expect = static_cast<unsigned __int128>(x) * y;
+        EXPECT_EQ(prod.word(0), static_cast<uint64_t>(expect));
+        EXPECT_EQ(prod.word(1), static_cast<uint64_t>(expect >> 64));
+    }
+}
+
+TEST(BigUInt, MulMultiWordAssociativity) {
+    // (a * b) * c == a * (b * c) for random multi-word values.
+    std::mt19937_64 rng(29);
+    for (int i = 0; i < 50; ++i) {
+        const xu::BigUInt a = xu::BigUInt::from_words({rng(), rng()});
+        const xu::BigUInt b = xu::BigUInt::from_words({rng(), rng(), rng()});
+        const xu::BigUInt c(rng());
+        EXPECT_TRUE(a.mul(b).mul(c) == a.mul(b.mul(c)));
+    }
+}
+
+TEST(BigUInt, Shr1) {
+    const xu::BigUInt a = xu::BigUInt::from_words({1, 1});  // 2^64 + 1
+    const auto h = a.shr1();
+    EXPECT_EQ(h.word(0), 1ull << 63);
+    EXPECT_EQ(h.word(1), 0ull);
+}
+
+TEST(BigUInt, ModWord) {
+    std::mt19937_64 rng(31);
+    const xu::Modulus q((1ull << 50) - 27);
+    for (int i = 0; i < 100; ++i) {
+        const uint64_t lo = rng(), hi = rng();
+        const xu::BigUInt v = xu::BigUInt::from_words({lo, hi});
+        const unsigned __int128 wide =
+            (static_cast<unsigned __int128>(hi) << 64) | lo;
+        EXPECT_EQ(v.mod_word(q), static_cast<uint64_t>(wide % q.value()));
+    }
+}
+
+TEST(BigUInt, ModWordDistributesOverMul) {
+    // (a * b) mod q == (a mod q)(b mod q) mod q with multi-word products.
+    std::mt19937_64 rng(37);
+    const xu::Modulus q(1152921504606830593ull);
+    for (int i = 0; i < 50; ++i) {
+        const xu::BigUInt a = xu::BigUInt::from_words({rng(), rng(), rng()});
+        const xu::BigUInt b = xu::BigUInt::from_words({rng(), rng()});
+        const uint64_t lhs = a.mul(b).mod_word(q);
+        const uint64_t rhs = xu::mul_mod(a.mod_word(q), b.mod_word(q), q);
+        EXPECT_EQ(lhs, rhs);
+    }
+}
+
+TEST(BigUInt, ToDouble) {
+    EXPECT_DOUBLE_EQ(xu::BigUInt(1000).to_double(), 1000.0);
+    const xu::BigUInt big = xu::BigUInt::from_words({0, 1});  // 2^64
+    EXPECT_DOUBLE_EQ(big.to_double(), 18446744073709551616.0);
+}

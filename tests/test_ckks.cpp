@@ -1,0 +1,376 @@
+// End-to-end tests of the CKKS scheme: encoding precision, encryption,
+// every evaluator primitive checked against plaintext arithmetic, and the
+// noise/scale bookkeeping of the rescale chain.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ckks/evaluator.h"
+#include "ckks/encoder.h"
+
+namespace xc = xehe::ckks;
+
+namespace {
+
+constexpr double kScale = 1099511627776.0;  // 2^40
+
+struct TestBench {
+    xc::CkksContext context;
+    xc::CkksEncoder encoder;
+    xc::KeyGenerator keygen;
+    xc::Encryptor encryptor;
+    xc::Decryptor decryptor;
+    xc::Evaluator evaluator;
+
+    explicit TestBench(std::size_t n = 4096, std::size_t levels = 4)
+        : context(xc::EncryptionParameters::create(n, levels)),
+          encoder(context),
+          keygen(context),
+          encryptor(context, keygen.create_public_key()),
+          decryptor(context, keygen.secret_key()),
+          evaluator(context) {}
+};
+
+std::vector<std::complex<double>> random_values(std::size_t count, uint64_t seed,
+                                                double magnitude = 1.0) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-magnitude, magnitude);
+    std::vector<std::complex<double>> v(count);
+    for (auto &x : v) {
+        x = {dist(rng), dist(rng)};
+    }
+    return v;
+}
+
+void expect_close(const std::vector<std::complex<double>> &got,
+                  const std::vector<std::complex<double>> &expect,
+                  double tolerance, const char *what) {
+    ASSERT_GE(got.size(), expect.size());
+    double max_err = 0;
+    for (std::size_t i = 0; i < expect.size(); ++i) {
+        max_err = std::max(max_err, std::abs(got[i] - expect[i]));
+    }
+    EXPECT_LT(max_err, tolerance) << what;
+}
+
+}  // namespace
+
+TEST(CkksEncoder, EncodeDecodeRoundtrip) {
+    TestBench bench;
+    const auto values = random_values(bench.encoder.slots(), 1);
+    const auto plain = bench.encoder.encode(
+        std::span<const std::complex<double>>(values), kScale);
+    const auto decoded = bench.encoder.decode(plain);
+    expect_close(decoded, values, 1e-7, "encode/decode");
+}
+
+TEST(CkksEncoder, PartialVectorPadsWithZeros) {
+    TestBench bench;
+    const auto values = random_values(10, 2);
+    const auto plain = bench.encoder.encode(
+        std::span<const std::complex<double>>(values), kScale);
+    const auto decoded = bench.encoder.decode(plain);
+    expect_close(decoded, values, 1e-7, "partial encode");
+    for (std::size_t i = 10; i < bench.encoder.slots(); ++i) {
+        EXPECT_LT(std::abs(decoded[i]), 1e-7);
+    }
+}
+
+TEST(CkksEncoder, ConstantBroadcast) {
+    TestBench bench;
+    const auto plain = bench.encoder.encode(3.25, kScale);
+    const auto decoded = bench.encoder.decode(plain);
+    for (std::size_t i = 0; i < bench.encoder.slots(); ++i) {
+        EXPECT_NEAR(decoded[i].real(), 3.25, 1e-7);
+        EXPECT_NEAR(decoded[i].imag(), 0.0, 1e-7);
+    }
+}
+
+TEST(CkksEncoder, LowerLevelEncoding) {
+    TestBench bench;
+    const auto values = random_values(bench.encoder.slots(), 3);
+    const auto plain = bench.encoder.encode(
+        std::span<const std::complex<double>>(values), kScale, 2);
+    EXPECT_EQ(plain.rns, 2u);
+    expect_close(bench.encoder.decode(plain), values, 1e-7, "level-2 encode");
+}
+
+TEST(CkksEncoder, RejectsBadInput) {
+    TestBench bench;
+    const auto too_many = random_values(bench.encoder.slots() + 1, 4);
+    EXPECT_THROW(bench.encoder.encode(
+                     std::span<const std::complex<double>>(too_many), kScale),
+                 std::invalid_argument);
+    const auto values = random_values(4, 5);
+    EXPECT_THROW(bench.encoder.encode(
+                     std::span<const std::complex<double>>(values), -1.0),
+                 std::invalid_argument);
+    // Coefficients overflowing 62 bits must be rejected.
+    EXPECT_THROW(bench.encoder.encode(1e6, std::ldexp(1.0, 60)),
+                 std::invalid_argument);
+}
+
+TEST(Ckks, EncryptDecrypt) {
+    TestBench bench;
+    const auto values = random_values(bench.encoder.slots(), 6);
+    const auto plain = bench.encoder.encode(
+        std::span<const std::complex<double>>(values), kScale);
+    const auto ct = bench.encryptor.encrypt(plain);
+    EXPECT_EQ(ct.size, 2u);
+    EXPECT_EQ(ct.rns, bench.context.max_level());
+    const auto decrypted = bench.decryptor.decrypt(ct);
+    expect_close(bench.encoder.decode(decrypted), values, 1e-4,
+                 "encrypt/decrypt noise");
+}
+
+TEST(Ckks, AddSubNegate) {
+    TestBench bench;
+    const auto a = random_values(bench.encoder.slots(), 7);
+    const auto b = random_values(bench.encoder.slots(), 8);
+    const auto ct_a = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), kScale));
+    const auto ct_b = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(b), kScale));
+
+    std::vector<std::complex<double>> sum(a.size()), diff(a.size()), neg(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        sum[i] = a[i] + b[i];
+        diff[i] = a[i] - b[i];
+        neg[i] = -a[i];
+    }
+    expect_close(bench.encoder.decode(bench.decryptor.decrypt(
+                     bench.evaluator.add(ct_a, ct_b))),
+                 sum, 1e-4, "add");
+    expect_close(bench.encoder.decode(bench.decryptor.decrypt(
+                     bench.evaluator.sub(ct_a, ct_b))),
+                 diff, 1e-4, "sub");
+    expect_close(bench.encoder.decode(bench.decryptor.decrypt(
+                     bench.evaluator.negate(ct_a))),
+                 neg, 1e-4, "negate");
+}
+
+TEST(Ckks, AddPlainAndMultiplyPlain) {
+    TestBench bench;
+    const auto a = random_values(bench.encoder.slots(), 9);
+    const auto b = random_values(bench.encoder.slots(), 10);
+    const auto ct = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), kScale));
+    const auto plain_b = bench.encoder.encode(
+        std::span<const std::complex<double>>(b), kScale);
+
+    std::vector<std::complex<double>> sum(a.size()), prod(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        sum[i] = a[i] + b[i];
+        prod[i] = a[i] * b[i];
+    }
+    expect_close(bench.encoder.decode(bench.decryptor.decrypt(
+                     bench.evaluator.add_plain(ct, plain_b))),
+                 sum, 1e-4, "add_plain");
+    const auto ct_prod = bench.evaluator.multiply_plain(ct, plain_b);
+    EXPECT_NEAR(ct_prod.scale, kScale * kScale, 1.0);
+    expect_close(bench.encoder.decode(bench.decryptor.decrypt(ct_prod)), prod,
+                 1e-3, "multiply_plain");
+}
+
+TEST(Ckks, MultiplyDecryptsAtSizeThree) {
+    TestBench bench;
+    const auto a = random_values(bench.encoder.slots(), 11);
+    const auto b = random_values(bench.encoder.slots(), 12);
+    const auto ct_a = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), kScale));
+    const auto ct_b = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(b), kScale));
+    const auto ct_prod = bench.evaluator.multiply(ct_a, ct_b);
+    EXPECT_EQ(ct_prod.size, 3u);
+
+    std::vector<std::complex<double>> prod(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        prod[i] = a[i] * b[i];
+    }
+    expect_close(bench.encoder.decode(bench.decryptor.decrypt(ct_prod)), prod,
+                 1e-3, "size-3 decrypt");
+}
+
+TEST(Ckks, MultiplyRelinearizeRescale) {
+    TestBench bench;
+    const auto relin = bench.keygen.create_relin_keys();
+    const auto a = random_values(bench.encoder.slots(), 13);
+    const auto b = random_values(bench.encoder.slots(), 14);
+    const auto ct_a = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), kScale));
+    const auto ct_b = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(b), kScale));
+
+    auto ct = bench.evaluator.multiply(ct_a, ct_b);
+    ct = bench.evaluator.relinearize(ct, relin);
+    EXPECT_EQ(ct.size, 2u);
+    ct = bench.evaluator.rescale(ct);
+    EXPECT_EQ(ct.rns, bench.context.max_level() - 1);
+
+    std::vector<std::complex<double>> prod(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        prod[i] = a[i] * b[i];
+    }
+    expect_close(bench.encoder.decode(bench.decryptor.decrypt(ct)), prod, 1e-3,
+                 "MulLinRS");
+}
+
+TEST(Ckks, SquareMatchesMultiply) {
+    TestBench bench;
+    const auto relin = bench.keygen.create_relin_keys();
+    const auto a = random_values(bench.encoder.slots(), 15);
+    const auto ct_a = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), kScale));
+    auto ct = bench.evaluator.square(ct_a);
+    ct = bench.evaluator.relinearize(ct, relin);
+    ct = bench.evaluator.rescale(ct);
+
+    std::vector<std::complex<double>> sq(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        sq[i] = a[i] * a[i];
+    }
+    expect_close(bench.encoder.decode(bench.decryptor.decrypt(ct)), sq, 1e-3,
+                 "SqrLinRS");
+}
+
+TEST(Ckks, TwoLevelMultiplicationChain) {
+    TestBench bench;
+    const auto relin = bench.keygen.create_relin_keys();
+    const auto a = random_values(bench.encoder.slots(), 16, 0.7);
+    // A scale near the 50-bit prime size keeps precision through two
+    // rescales (2^40 would decay to ~2^10 and drown in noise).
+    const double chain_scale = std::ldexp(1.0, 49);
+    const auto ct_a = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), chain_scale));
+    // a^2
+    auto ct = bench.evaluator.rescale(
+        bench.evaluator.relinearize(bench.evaluator.square(ct_a), relin));
+    // a^4
+    ct = bench.evaluator.rescale(
+        bench.evaluator.relinearize(bench.evaluator.square(ct), relin));
+
+    std::vector<std::complex<double>> quad(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        quad[i] = a[i] * a[i] * a[i] * a[i];
+    }
+    expect_close(bench.encoder.decode(bench.decryptor.decrypt(ct)), quad, 1e-2,
+                 "depth-2 chain");
+}
+
+TEST(Ckks, ModSwitchPreservesMessage) {
+    TestBench bench;
+    const auto a = random_values(bench.encoder.slots(), 17);
+    auto ct = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), kScale));
+    ct = bench.evaluator.mod_switch(ct);
+    EXPECT_EQ(ct.rns, bench.context.max_level() - 1);
+    EXPECT_DOUBLE_EQ(ct.scale, kScale);
+    expect_close(bench.encoder.decode(bench.decryptor.decrypt(ct)), a, 1e-4,
+                 "mod_switch");
+}
+
+TEST(Ckks, RotateShiftsSlots) {
+    TestBench bench;
+    const int steps[] = {1, 2, 5};
+    const auto gk = bench.keygen.create_galois_keys(steps);
+    const std::size_t slots = bench.encoder.slots();
+    const auto a = random_values(slots, 18);
+    const auto ct = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), kScale));
+
+    for (int step : steps) {
+        const auto rotated = bench.evaluator.rotate(ct, step, gk);
+        const auto decoded = bench.encoder.decode(bench.decryptor.decrypt(rotated));
+        // Cyclic left shift by `step`.
+        std::vector<std::complex<double>> expect(slots);
+        for (std::size_t i = 0; i < slots; ++i) {
+            expect[i] = a[(i + static_cast<std::size_t>(step)) % slots];
+        }
+        expect_close(decoded, expect, 1e-3,
+                     ("rotate step " + std::to_string(step)).c_str());
+    }
+}
+
+TEST(Ckks, RotateByZeroIsIdentity) {
+    TestBench bench;
+    const int steps[] = {1};
+    const auto gk = bench.keygen.create_galois_keys(steps);
+    const auto a = random_values(bench.encoder.slots(), 19);
+    const auto ct = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), kScale));
+    const auto r = bench.evaluator.rotate(ct, 0, gk);
+    expect_close(bench.encoder.decode(bench.decryptor.decrypt(r)), a, 1e-4,
+                 "rotate 0");
+}
+
+TEST(Ckks, ConjugateConjugatesSlots) {
+    TestBench bench;
+    const auto gk = bench.keygen.create_conjugation_keys();
+    const auto a = random_values(bench.encoder.slots(), 20);
+    const auto ct = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), kScale));
+    const auto conj = bench.evaluator.conjugate(ct, gk);
+    std::vector<std::complex<double>> expect(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        expect[i] = std::conj(a[i]);
+    }
+    expect_close(bench.encoder.decode(bench.decryptor.decrypt(conj)), expect,
+                 1e-3, "conjugate");
+}
+
+TEST(Ckks, MulLinRSModSwAddRoutine) {
+    // The paper's most complex benchmarked routine: multiply, relinearize,
+    // rescale, mod-switch another ciphertext down, then add.
+    TestBench bench;
+    const auto relin = bench.keygen.create_relin_keys();
+    const auto a = random_values(bench.encoder.slots(), 21);
+    const auto b = random_values(bench.encoder.slots(), 22);
+    const auto c = random_values(bench.encoder.slots(), 23);
+    const auto ct_a = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), kScale));
+    const auto ct_b = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(b), kScale));
+
+    auto prod = bench.evaluator.rescale(bench.evaluator.relinearize(
+        bench.evaluator.multiply(ct_a, ct_b), relin));
+    // Encode c directly at the product's level and scale, then add.
+    const auto plain_c = bench.encoder.encode(
+        std::span<const std::complex<double>>(c), prod.scale, prod.rns);
+    const auto ct_c = bench.encryptor.encrypt(plain_c);
+    const auto sum = bench.evaluator.add(prod, ct_c);
+
+    std::vector<std::complex<double>> expect(a.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        expect[i] = a[i] * b[i] + c[i];
+    }
+    expect_close(bench.encoder.decode(bench.decryptor.decrypt(sum)), expect,
+                 1e-3, "MulLinRSModSwAdd");
+}
+
+TEST(Ckks, ScaleMismatchThrows) {
+    TestBench bench;
+    const auto a = random_values(bench.encoder.slots(), 24);
+    const auto ct1 = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), kScale));
+    const auto ct2 = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), 2 * kScale));
+    EXPECT_THROW(bench.evaluator.add(ct1, ct2), std::invalid_argument);
+}
+
+TEST(Ckks, RescaleAtBottomLevelThrows) {
+    TestBench bench(2048, 1);
+    const auto a = random_values(bench.encoder.slots(), 25);
+    const auto ct = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), kScale));
+    EXPECT_THROW(bench.evaluator.rescale(ct), std::invalid_argument);
+}
+
+TEST(Ckks, SmallDegreeParameters) {
+    // The whole pipeline must also work at toy sizes (fast tests).
+    TestBench bench(512, 2);
+    const auto a = random_values(bench.encoder.slots(), 26);
+    const auto ct = bench.encryptor.encrypt(bench.encoder.encode(
+        std::span<const std::complex<double>>(a), kScale));
+    expect_close(bench.encoder.decode(bench.decryptor.decrypt(ct)), a, 1e-3,
+                 "n=512");
+}

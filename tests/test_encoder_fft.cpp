@@ -1,0 +1,171 @@
+// Properties of the encoder's complex negacyclic FFT and of the encoding
+// itself: transform roundtrips, linearity, conjugate symmetry, Parseval-ish
+// magnitude preservation, and scale handling.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ckks/encoder.h"
+
+namespace xc = xehe::ckks;
+using complexd = std::complex<double>;
+
+namespace {
+
+std::vector<complexd> random_complex(std::size_t count, uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::uniform_real_distribution<double> dist(-1.0, 1.0);
+    std::vector<complexd> v(count);
+    for (auto &x : v) {
+        x = {dist(rng), dist(rng)};
+    }
+    return v;
+}
+
+double max_abs_diff(const std::vector<complexd> &a,
+                    const std::vector<complexd> &b) {
+    double m = 0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        m = std::max(m, std::abs(a[i] - b[i]));
+    }
+    return m;
+}
+
+}  // namespace
+
+class ComplexFftTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ComplexFftTest, ForwardInverseRoundtrip) {
+    const std::size_t n = GetParam();
+    const xc::ComplexFft fft(n);
+    const auto original = random_complex(n, n);
+    auto a = original;
+    fft.forward(a);
+    fft.inverse(a);
+    EXPECT_LT(max_abs_diff(a, original), 1e-10);
+}
+
+TEST_P(ComplexFftTest, InverseForwardRoundtrip) {
+    const std::size_t n = GetParam();
+    const xc::ComplexFft fft(n);
+    const auto original = random_complex(n, n + 1);
+    auto a = original;
+    fft.inverse(a);
+    fft.forward(a);
+    EXPECT_LT(max_abs_diff(a, original), 1e-10);
+}
+
+TEST_P(ComplexFftTest, Linearity) {
+    const std::size_t n = GetParam();
+    const xc::ComplexFft fft(n);
+    auto a = random_complex(n, 2 * n);
+    auto b = random_complex(n, 2 * n + 1);
+    std::vector<complexd> sum(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        sum[i] = 2.0 * a[i] + b[i];
+    }
+    fft.forward(a);
+    fft.forward(b);
+    fft.forward(sum);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_LT(std::abs(sum[i] - (2.0 * a[i] + b[i])), 1e-9);
+    }
+}
+
+TEST_P(ComplexFftTest, MatchesDirectEvaluation) {
+    // forward output j equals the polynomial evaluated at
+    // psi^(2*bitrev(j)+1) with psi = e^{i pi / n}.
+    const std::size_t n = GetParam();
+    if (n > 64) {
+        GTEST_SKIP() << "O(N^2) oracle kept small";
+    }
+    const xc::ComplexFft fft(n);
+    const auto a = random_complex(n, 3 * n);
+    auto transformed = a;
+    fft.forward(transformed);
+    const int log_n = xehe::util::log2_exact(n);
+    for (std::size_t j = 0; j < n; ++j) {
+        const double angle = std::numbers::pi / static_cast<double>(n) *
+                             (2.0 * xehe::util::reverse_bits(j, log_n) + 1.0);
+        const complexd zeta{std::cos(angle), std::sin(angle)};
+        complexd acc{0, 0}, power{1, 0};
+        for (std::size_t k = 0; k < n; ++k) {
+            acc += a[k] * power;
+            power *= zeta;
+        }
+        EXPECT_LT(std::abs(transformed[j] - acc), 1e-8);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ComplexFftTest,
+                         ::testing::Values(2, 4, 16, 64, 256, 2048));
+
+TEST(Encoder, EncodingIsAdditivelyHomomorphic) {
+    const xc::CkksContext context(xc::EncryptionParameters::create(2048, 2));
+    const xc::CkksEncoder encoder(context);
+    const double scale = std::ldexp(1.0, 40);
+    const auto a = random_complex(encoder.slots(), 11);
+    const auto b = random_complex(encoder.slots(), 12);
+    const auto pa = encoder.encode(std::span<const complexd>(a), scale);
+    const auto pb = encoder.encode(std::span<const complexd>(b), scale);
+    // Add plaintext polynomials componentwise.
+    xc::Plaintext sum = pa;
+    for (std::size_t r = 0; r < pa.rns; ++r) {
+        const auto &q = context.key_modulus()[r];
+        for (std::size_t i = 0; i < pa.n; ++i) {
+            sum.data[r * pa.n + i] = xehe::util::add_mod(
+                pa.data[r * pa.n + i], pb.data[r * pa.n + i], q);
+        }
+    }
+    const auto decoded = encoder.decode(sum);
+    for (std::size_t i = 0; i < encoder.slots(); ++i) {
+        EXPECT_LT(std::abs(decoded[i] - (a[i] + b[i])), 1e-6);
+    }
+}
+
+TEST(Encoder, ScaleControlsPrecision) {
+    const xc::CkksContext context(xc::EncryptionParameters::create(2048, 2));
+    const xc::CkksEncoder encoder(context);
+    const auto values = random_complex(encoder.slots(), 13);
+    double coarse_err = 0, fine_err = 0;
+    for (auto [scale, err] : {std::pair<double, double *>{std::ldexp(1.0, 20), &coarse_err},
+                              std::pair<double, double *>{std::ldexp(1.0, 45), &fine_err}}) {
+        const auto plain = encoder.encode(std::span<const complexd>(values), scale);
+        const auto decoded = encoder.decode(plain);
+        for (std::size_t i = 0; i < values.size(); ++i) {
+            *err = std::max(*err, std::abs(decoded[i] - values[i]));
+        }
+    }
+    EXPECT_LT(fine_err, coarse_err / 1e4)
+        << "larger scale must give far better precision";
+}
+
+TEST(Encoder, PurelyImaginaryValuesSurvive) {
+    const xc::CkksContext context(xc::EncryptionParameters::create(1024, 2));
+    const xc::CkksEncoder encoder(context);
+    std::vector<complexd> values(encoder.slots(), complexd{0.0, 1.0});
+    const auto plain =
+        encoder.encode(std::span<const complexd>(values), std::ldexp(1.0, 40));
+    const auto decoded = encoder.decode(plain);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_NEAR(decoded[i].real(), 0.0, 1e-7);
+        EXPECT_NEAR(decoded[i].imag(), 1.0, 1e-7);
+    }
+}
+
+TEST(Encoder, DecodeAfterModSwitchSemantics) {
+    // Dropping the last RNS component of a plaintext must not change the
+    // decoded values (the message is far below the remaining modulus).
+    const xc::CkksContext context(xc::EncryptionParameters::create(1024, 3));
+    const xc::CkksEncoder encoder(context);
+    const auto values = random_complex(encoder.slots(), 14);
+    auto plain = encoder.encode(std::span<const complexd>(values),
+                                std::ldexp(1.0, 40));
+    xc::Plaintext dropped = plain;
+    dropped.rns -= 1;
+    dropped.data.resize(dropped.rns * dropped.n);
+    const auto decoded = encoder.decode(dropped);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        EXPECT_LT(std::abs(decoded[i] - values[i]), 1e-6);
+    }
+}

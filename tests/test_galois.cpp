@@ -1,0 +1,141 @@
+// Properties of the Galois automorphism tool: group structure of the
+// elements, bijectivity of the NTT-domain permutations, and composition.
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <random>
+
+#include "ckks/galois.h"
+#include "util/primes.h"
+
+namespace xc = xehe::ckks;
+namespace xu = xehe::util;
+
+TEST(GaloisTool, EltFromStepBasics) {
+    const xc::GaloisTool tool(1024);
+    EXPECT_EQ(tool.elt_from_step(0), 1ull);
+    EXPECT_EQ(tool.elt_from_step(1), 3ull);
+    EXPECT_EQ(tool.elt_from_step(2), 9ull);
+    // Steps wrap modulo the slot count.
+    EXPECT_EQ(tool.elt_from_step(512), tool.elt_from_step(0));
+    EXPECT_EQ(tool.elt_from_step(-1), tool.elt_from_step(511));
+    // All elements are odd and < 2N.
+    for (int s = 0; s < 100; ++s) {
+        const uint64_t elt = tool.elt_from_step(s);
+        EXPECT_EQ(elt & 1, 1ull);
+        EXPECT_LT(elt, 2048ull);
+    }
+}
+
+TEST(GaloisTool, EltsFormAGroupUnderComposition) {
+    // elt(a) * elt(b) == elt(a + b) (mod 2N).
+    const xc::GaloisTool tool(256);
+    for (int a : {1, 3, 17}) {
+        for (int b : {2, 5, 100}) {
+            EXPECT_EQ(tool.elt_from_step(a) * tool.elt_from_step(b) % 512,
+                      tool.elt_from_step(a + b));
+        }
+    }
+}
+
+TEST(GaloisTool, ConjugationElt) {
+    const xc::GaloisTool tool(512);
+    EXPECT_EQ(tool.conjugation_elt(), 1023ull);
+}
+
+TEST(GaloisTool, PermutationIsBijective) {
+    const std::size_t n = 256;
+    const xc::GaloisTool tool(n);
+    std::vector<uint64_t> in(n);
+    std::iota(in.begin(), in.end(), 0);
+    for (uint64_t elt : {uint64_t{3}, uint64_t{9}, uint64_t{2 * n - 1}}) {
+        std::vector<uint64_t> out(n);
+        tool.apply_ntt(in, elt, out);
+        std::vector<uint64_t> sorted = out;
+        std::sort(sorted.begin(), sorted.end());
+        EXPECT_EQ(sorted, in) << "permutation must be a bijection, elt=" << elt;
+    }
+}
+
+TEST(GaloisTool, IdentityElementIsIdentityPermutation) {
+    const std::size_t n = 128;
+    const xc::GaloisTool tool(n);
+    std::vector<uint64_t> in(n);
+    std::iota(in.begin(), in.end(), 100);
+    std::vector<uint64_t> out(n);
+    tool.apply_ntt(in, 1, out);
+    EXPECT_EQ(out, in);
+}
+
+TEST(GaloisTool, PermutationsCompose) {
+    // Applying elt(1) twice equals applying elt(2).
+    const std::size_t n = 256;
+    const xc::GaloisTool tool(n);
+    std::mt19937_64 rng(5);
+    std::vector<uint64_t> in(n);
+    for (auto &x : in) {
+        x = rng();
+    }
+    std::vector<uint64_t> once(n), twice(n), direct(n);
+    tool.apply_ntt(in, tool.elt_from_step(1), once);
+    tool.apply_ntt(once, tool.elt_from_step(1), twice);
+    tool.apply_ntt(in, tool.elt_from_step(2), direct);
+    EXPECT_EQ(twice, direct);
+}
+
+TEST(GaloisTool, ConjugationIsAnInvolution) {
+    const std::size_t n = 128;
+    const xc::GaloisTool tool(n);
+    std::mt19937_64 rng(6);
+    std::vector<uint64_t> in(n);
+    for (auto &x : in) {
+        x = rng();
+    }
+    std::vector<uint64_t> once(n), twice(n);
+    tool.apply_ntt(in, tool.conjugation_elt(), once);
+    tool.apply_ntt(once, tool.conjugation_elt(), twice);
+    EXPECT_EQ(twice, in);
+}
+
+TEST(GaloisTool, RejectsBadInput) {
+    const xc::GaloisTool tool(64);
+    std::vector<uint64_t> in(64), out(64);
+    EXPECT_THROW(tool.apply_ntt(in, 2, out), std::invalid_argument);  // even
+    EXPECT_THROW(tool.apply_ntt(in, 999, out), std::invalid_argument);  // >= 2N
+    EXPECT_THROW(tool.apply_ntt(in, 3, in), std::invalid_argument);  // in-place
+    std::vector<uint64_t> small(32);
+    EXPECT_THROW(tool.apply_ntt(small, 3, out), std::invalid_argument);
+}
+
+TEST(GaloisTool, AutomorphismCommutesWithPolynomialEvaluation) {
+    // The NTT-domain permutation must agree with applying x -> x^g to the
+    // coefficient form: permute(NTT(a)) == NTT(a(x^g) mod x^N + 1).
+    const std::size_t n = 64;
+    const auto q = xu::generate_ntt_primes(30, n, 1)[0];
+    const xehe::ntt::NttTables tables(n, q);
+    const xc::GaloisTool tool(n);
+    const uint64_t g = 3;
+
+    std::mt19937_64 rng(7);
+    std::vector<uint64_t> coeffs(n);
+    for (auto &c : coeffs) {
+        c = rng() % q.value();
+    }
+    // Apply the automorphism in coefficient space: x^i -> x^{g i mod 2N}
+    // with sign flips for exponents >= N (negacyclic wraparound).
+    std::vector<uint64_t> mapped(n, 0);
+    for (std::size_t i = 0; i < n; ++i) {
+        const uint64_t e = (g * i) % (2 * n);
+        if (e < n) {
+            mapped[e] = xu::add_mod(mapped[e], coeffs[i], q);
+        } else {
+            mapped[e - n] = xu::sub_mod(mapped[e - n], coeffs[i], q);
+        }
+    }
+    std::vector<uint64_t> lhs = coeffs;
+    xehe::ntt::ntt_forward(lhs, tables);
+    std::vector<uint64_t> permuted(n);
+    tool.apply_ntt(lhs, g, permuted);
+    xehe::ntt::ntt_forward(mapped, tables);
+    EXPECT_EQ(permuted, mapped);
+}

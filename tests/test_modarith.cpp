@@ -1,0 +1,233 @@
+// Unit and property tests for word-size modular arithmetic: Barrett
+// reduction, Harvey operands, the fused mad_mod, and the lazy butterflies.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "util/modarith.h"
+
+namespace xu = xehe::util;
+
+namespace {
+
+std::vector<uint64_t> test_moduli() {
+    return {2, 3, 17, 257, 0xFFFFull, (1ull << 30) - 35, 0x7FFFFFFFFCA01ull,
+            (1ull << 50) - 27, 1152921504606830593ull /* 2^60-ish NTT prime */};
+}
+
+uint64_t ref_mulmod(uint64_t a, uint64_t b, uint64_t q) {
+    return static_cast<uint64_t>((static_cast<unsigned __int128>(a) * b) % q);
+}
+
+}  // namespace
+
+TEST(Uint128, MulWideMatchesNative) {
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const uint64_t a = rng(), b = rng();
+        const auto p = xu::mul_uint64_wide(a, b);
+        const unsigned __int128 expect = static_cast<unsigned __int128>(a) * b;
+        EXPECT_EQ(p.lo, static_cast<uint64_t>(expect));
+        EXPECT_EQ(p.hi, static_cast<uint64_t>(expect >> 64));
+    }
+}
+
+TEST(Uint128, AddWithCarry) {
+    unsigned carry = 0;
+    EXPECT_EQ(xu::add_uint64_carry(~0ull, 1, 0, &carry), 0ull);
+    EXPECT_EQ(carry, 1u);
+    EXPECT_EQ(xu::add_uint64_carry(~0ull, ~0ull, 1, &carry), ~0ull);
+    EXPECT_EQ(carry, 1u);
+    EXPECT_EQ(xu::add_uint64_carry(1, 2, 1, &carry), 4ull);
+    EXPECT_EQ(carry, 0u);
+}
+
+TEST(Uint128, Shifts) {
+    xu::Uint128 v{0x123456789ABCDEFull, 0xFEDCBA987654321ull};
+    EXPECT_EQ(xu::shl_uint128(v, 0), v);
+    EXPECT_EQ(xu::shr_uint128(v, 0), v);
+    EXPECT_EQ(xu::shl_uint128(v, 64).hi, v.lo);
+    EXPECT_EQ(xu::shr_uint128(v, 64).lo, v.hi);
+    const auto s = xu::shl_uint128(v, 4);
+    EXPECT_EQ(s.lo, v.lo << 4);
+    EXPECT_EQ(s.hi, (v.hi << 4) | (v.lo >> 60));
+}
+
+TEST(Modulus, ConstRatio) {
+    for (uint64_t q : test_moduli()) {
+        const xu::Modulus mod(q);
+        // const_ratio == floor(2^128 / q): check q * ratio <= 2^128 - 1 and
+        // q * (ratio + 1) > 2^128 - 1 via the remainder identity.
+        const unsigned __int128 all = ~static_cast<unsigned __int128>(0);
+        unsigned __int128 ratio =
+            (static_cast<unsigned __int128>(mod.const_ratio().hi) << 64) |
+            mod.const_ratio().lo;
+        const unsigned __int128 expect =
+            all / q + ((all % q) + 1 == q ? 1 : 0);
+        EXPECT_EQ(ratio, expect) << "q=" << q;
+    }
+}
+
+TEST(Modulus, RejectsBadValues) {
+    EXPECT_THROW(xu::Modulus(0), std::invalid_argument);
+    EXPECT_THROW(xu::Modulus(1), std::invalid_argument);
+    EXPECT_THROW(xu::Modulus(1ull << 62), std::invalid_argument);
+}
+
+TEST(ModArith, AddSubNegate) {
+    for (uint64_t q : test_moduli()) {
+        const xu::Modulus mod(q);
+        std::mt19937_64 rng(q);
+        for (int i = 0; i < 200; ++i) {
+            const uint64_t a = rng() % q, b = rng() % q;
+            EXPECT_EQ(xu::add_mod(a, b, mod), (a + b) % q);
+            EXPECT_EQ(xu::sub_mod(a, b, mod), (a + q - b) % q);
+            EXPECT_EQ(xu::add_mod(xu::negate_mod(a, mod), a, mod), 0ull);
+        }
+    }
+}
+
+TEST(ModArith, BarrettReduce64) {
+    for (uint64_t q : test_moduli()) {
+        const xu::Modulus mod(q);
+        std::mt19937_64 rng(q + 1);
+        EXPECT_EQ(xu::barrett_reduce_64(0, mod), 0ull);
+        EXPECT_EQ(xu::barrett_reduce_64(q, mod), 0ull);
+        EXPECT_EQ(xu::barrett_reduce_64(~0ull, mod), ~0ull % q);
+        for (int i = 0; i < 500; ++i) {
+            const uint64_t x = rng();
+            EXPECT_EQ(xu::barrett_reduce_64(x, mod), x % q);
+        }
+    }
+}
+
+TEST(ModArith, BarrettReduce128) {
+    for (uint64_t q : test_moduli()) {
+        const xu::Modulus mod(q);
+        std::mt19937_64 rng(q + 2);
+        for (int i = 0; i < 500; ++i) {
+            const xu::Uint128 x{rng(), rng()};
+            const unsigned __int128 wide =
+                (static_cast<unsigned __int128>(x.hi) << 64) | x.lo;
+            EXPECT_EQ(xu::barrett_reduce_128(x, mod),
+                      static_cast<uint64_t>(wide % q));
+        }
+    }
+}
+
+TEST(ModArith, MulMod) {
+    for (uint64_t q : test_moduli()) {
+        const xu::Modulus mod(q);
+        std::mt19937_64 rng(q + 3);
+        for (int i = 0; i < 300; ++i) {
+            const uint64_t a = rng(), b = rng();
+            EXPECT_EQ(xu::mul_mod(a, b, mod), ref_mulmod(a, b, q));
+        }
+    }
+}
+
+TEST(ModArith, MadModMatchesUnfused) {
+    // The paper's fused multiply-add must agree with mul_mod + add_mod for
+    // operands below 62 bits (Section III-A1's no-overflow argument).
+    for (uint64_t q : test_moduli()) {
+        const xu::Modulus mod(q);
+        std::mt19937_64 rng(q + 4);
+        for (int i = 0; i < 300; ++i) {
+            const uint64_t a = rng() & ((1ull << 61) - 1);
+            const uint64_t b = rng() & ((1ull << 61) - 1);
+            const uint64_t c = rng() & ((1ull << 61) - 1);
+            const uint64_t unfused =
+                xu::add_mod(ref_mulmod(a, b, q), c % q, mod);
+            EXPECT_EQ(xu::mad_mod(a, b, c, mod), unfused);
+        }
+    }
+}
+
+TEST(ModArith, PowAndInvert) {
+    const xu::Modulus q(1152921504606830593ull);
+    EXPECT_EQ(xu::pow_mod(2, 0, q), 1ull);
+    EXPECT_EQ(xu::pow_mod(2, 10, q), 1024ull);
+    std::mt19937_64 rng(11);
+    for (int i = 0; i < 50; ++i) {
+        const uint64_t a = rng() % q.value();
+        if (a == 0) continue;
+        uint64_t inv = 0;
+        ASSERT_TRUE(xu::try_invert_mod(a, q, &inv));
+        EXPECT_EQ(xu::mul_mod(a, inv, q), 1ull);
+    }
+    uint64_t dummy;
+    EXPECT_FALSE(xu::try_invert_mod(0, q, &dummy));
+}
+
+TEST(ModArith, MultiplyModOperand) {
+    const xu::Modulus q((1ull << 50) - 27);
+    std::mt19937_64 rng(13);
+    for (int i = 0; i < 300; ++i) {
+        const uint64_t y = rng() % q.value();
+        const xu::MultiplyModOperand op(y, q);
+        const uint64_t x = rng();
+        EXPECT_EQ(xu::mul_mod(x, op, q), ref_mulmod(x % q.value(), y, q.value()));
+        // Lazy result is congruent and < 2q.
+        const uint64_t lazy = xu::mul_mod_lazy(x, op, q);
+        EXPECT_LT(lazy, 2 * q.value());
+        EXPECT_EQ(lazy % q.value(), ref_mulmod(x % q.value(), y, q.value()));
+    }
+}
+
+TEST(ModArith, ForwardButterflyRangeAndValue) {
+    const xu::Modulus q(0x7FFFFFFFFCA01ull);  // < 2^62 / 4 would be needed: 51-bit prime
+    std::mt19937_64 rng(17);
+    for (int i = 0; i < 500; ++i) {
+        const uint64_t w = rng() % q.value();
+        const xu::MultiplyModOperand op(w, q);
+        uint64_t x = rng() % (4 * q.value());
+        uint64_t y = rng() % (4 * q.value());
+        const uint64_t x0 = x % q.value(), y0 = y % q.value();
+        xu::forward_butterfly(&x, &y, op, q);
+        EXPECT_LT(x, 4 * q.value());
+        EXPECT_LT(y, 4 * q.value());
+        const uint64_t wy = ref_mulmod(y0, w, q.value());
+        EXPECT_EQ(x % q.value(), (x0 + wy) % q.value());
+        EXPECT_EQ(y % q.value(), (x0 + q.value() - wy) % q.value());
+    }
+}
+
+TEST(ModArith, InverseButterflyRangeAndValue) {
+    const xu::Modulus q(0x7FFFFFFFFCA01ull);
+    std::mt19937_64 rng(19);
+    for (int i = 0; i < 500; ++i) {
+        const uint64_t w = rng() % q.value();
+        const xu::MultiplyModOperand op(w, q);
+        uint64_t x = rng() % (2 * q.value());
+        uint64_t y = rng() % (2 * q.value());
+        const uint64_t x0 = x % q.value(), y0 = y % q.value();
+        xu::inverse_butterfly(&x, &y, op, q);
+        EXPECT_LT(x, 2 * q.value());
+        EXPECT_LT(y, 2 * q.value());
+        EXPECT_EQ(x % q.value(), (x0 + y0) % q.value());
+        EXPECT_EQ(y % q.value(),
+                  ref_mulmod((x0 + q.value() - y0) % q.value(), w, q.value()));
+    }
+}
+
+TEST(ModArith, ReduceFrom4p) {
+    const xu::Modulus q(97);
+    for (uint64_t x = 0; x < 4 * 97; ++x) {
+        EXPECT_EQ(xu::reduce_from_4p(x, q), x % 97);
+    }
+}
+
+TEST(Common, BitHelpers) {
+    EXPECT_TRUE(xu::is_power_of_two(1));
+    EXPECT_TRUE(xu::is_power_of_two(4096));
+    EXPECT_FALSE(xu::is_power_of_two(0));
+    EXPECT_FALSE(xu::is_power_of_two(36));
+    EXPECT_EQ(xu::log2_exact(4096), 12);
+    EXPECT_EQ(xu::significant_bits(0), 0);
+    EXPECT_EQ(xu::significant_bits(1), 1);
+    EXPECT_EQ(xu::significant_bits(~0ull), 64);
+    EXPECT_EQ(xu::reverse_bits(0b0001, 4), 0b1000ull);
+    EXPECT_EQ(xu::reverse_bits(0b1101, 4), 0b1011ull);
+    EXPECT_EQ(xu::reverse_bits(5, 0), 0ull);
+    EXPECT_EQ(xu::div_round_up(10, 3), 4ull);
+}

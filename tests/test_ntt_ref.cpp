@@ -1,0 +1,131 @@
+// Correctness of the reference negacyclic NTT against the O(N^2) oracle,
+// roundtrip identities, and the convolution theorem.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ntt/ntt_ref.h"
+
+namespace xn = xehe::ntt;
+namespace xu = xehe::util;
+
+namespace {
+
+std::vector<uint64_t> random_poly(std::size_t n, const xu::Modulus &q,
+                                  uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<uint64_t> a(n);
+    for (auto &x : a) {
+        x = rng() % q.value();
+    }
+    return a;
+}
+
+}  // namespace
+
+class NttRefTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(NttRefTest, MatchesNaiveDft) {
+    const std::size_t n = GetParam();
+    const auto q = xu::generate_ntt_primes(40, n, 1)[0];
+    const xn::NttTables tables(n, q);
+    auto a = random_poly(n, q, n);
+    std::vector<uint64_t> expect(n);
+    xn::naive_negacyclic_ntt(a, expect, tables);
+    xn::ntt_forward(a, tables);
+    EXPECT_EQ(a, expect);
+}
+
+TEST_P(NttRefTest, Roundtrip) {
+    const std::size_t n = GetParam();
+    const auto q = xu::generate_ntt_primes(50, n, 1)[0];
+    const xn::NttTables tables(n, q);
+    const auto original = random_poly(n, q, n + 1);
+    auto a = original;
+    xn::ntt_forward(a, tables);
+    xn::ntt_inverse(a, tables);
+    EXPECT_EQ(a, original);
+}
+
+TEST_P(NttRefTest, InverseThenForwardRoundtrip) {
+    const std::size_t n = GetParam();
+    const auto q = xu::generate_ntt_primes(50, n, 1)[0];
+    const xn::NttTables tables(n, q);
+    const auto original = random_poly(n, q, n + 2);
+    auto a = original;
+    xn::ntt_inverse(a, tables);
+    xn::ntt_forward(a, tables);
+    EXPECT_EQ(a, original);
+}
+
+TEST_P(NttRefTest, ConvolutionTheorem) {
+    const std::size_t n = GetParam();
+    const auto q = xu::generate_ntt_primes(50, n, 1)[0];
+    const xn::NttTables tables(n, q);
+    auto a = random_poly(n, q, 2 * n);
+    auto b = random_poly(n, q, 2 * n + 1);
+    std::vector<uint64_t> expect(n);
+    xn::naive_negacyclic_multiply(a, b, expect, q);
+
+    xn::ntt_forward(a, tables);
+    xn::ntt_forward(b, tables);
+    std::vector<uint64_t> c(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        c[i] = xu::mul_mod(a[i], b[i], q);
+    }
+    xn::ntt_inverse(c, tables);
+    EXPECT_EQ(c, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NttRefTest,
+                         ::testing::Values(4, 8, 16, 32, 64, 128, 256, 512));
+
+TEST(NttTables, RejectsBadParams) {
+    const auto q = xu::generate_ntt_primes(40, 64, 1)[0];
+    EXPECT_THROW(xn::NttTables(63, q), std::invalid_argument);
+    // A prime that is not 1 mod 2N.
+    EXPECT_THROW(xn::NttTables(1ull << 20, xu::Modulus(q.value())),
+                 std::invalid_argument);
+}
+
+TEST(NttTables, PsiIsPrimitiveRoot) {
+    const std::size_t n = 256;
+    const auto q = xu::generate_ntt_primes(45, n, 1)[0];
+    const xn::NttTables tables(n, q);
+    EXPECT_EQ(xu::pow_mod(tables.psi(), n, q), q.value() - 1);
+    EXPECT_EQ(xu::pow_mod(tables.psi(), 2 * n, q), 1ull);
+    // inv_degree * N == 1.
+    EXPECT_EQ(xu::mul_mod(tables.inv_degree().operand, n, q), 1ull);
+}
+
+TEST(NttRef, LinearityProperty) {
+    const std::size_t n = 128;
+    const auto q = xu::generate_ntt_primes(50, n, 1)[0];
+    const xn::NttTables tables(n, q);
+    auto a = random_poly(n, q, 77);
+    auto b = random_poly(n, q, 78);
+    std::vector<uint64_t> sum(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        sum[i] = xu::add_mod(a[i], b[i], q);
+    }
+    xn::ntt_forward(a, tables);
+    xn::ntt_forward(b, tables);
+    xn::ntt_forward(sum, tables);
+    for (std::size_t i = 0; i < n; ++i) {
+        EXPECT_EQ(sum[i], xu::add_mod(a[i], b[i], q));
+    }
+}
+
+TEST(NttRef, ConstantPolynomialTransformsToConstant) {
+    // NTT of the constant polynomial c is the all-c vector (x^0 evaluates
+    // to 1 everywhere).
+    const std::size_t n = 64;
+    const auto q = xu::generate_ntt_primes(40, n, 1)[0];
+    const xn::NttTables tables(n, q);
+    std::vector<uint64_t> a(n, 0);
+    a[0] = 12345 % q.value();
+    xn::ntt_forward(a, tables);
+    for (auto x : a) {
+        EXPECT_EQ(x, 12345 % q.value());
+    }
+}

@@ -1,0 +1,73 @@
+// Tests for primality testing, NTT-prime generation and primitive roots.
+#include <gtest/gtest.h>
+
+#include "util/modarith.h"
+#include "util/primes.h"
+
+namespace xu = xehe::util;
+
+TEST(Primes, SmallValues) {
+    EXPECT_FALSE(xu::is_prime(0));
+    EXPECT_FALSE(xu::is_prime(1));
+    EXPECT_TRUE(xu::is_prime(2));
+    EXPECT_TRUE(xu::is_prime(3));
+    EXPECT_FALSE(xu::is_prime(4));
+    EXPECT_TRUE(xu::is_prime(97));
+    EXPECT_FALSE(xu::is_prime(91));  // 7 * 13
+    EXPECT_TRUE(xu::is_prime(7919));
+}
+
+TEST(Primes, KnownLargePrimes) {
+    // SEAL / HEXL style NTT primes.
+    EXPECT_TRUE(xu::is_prime(1152921504606830593ull));
+    EXPECT_TRUE(xu::is_prime(0xFFFFFFFFFFFFFFC5ull));  // largest 64-bit prime
+    EXPECT_FALSE(xu::is_prime(0xFFFFFFFFFFFFFFFFull));
+    // Carmichael numbers must not fool the test.
+    EXPECT_FALSE(xu::is_prime(561));
+    EXPECT_FALSE(xu::is_prime(41041));
+    EXPECT_FALSE(xu::is_prime(825265));
+}
+
+TEST(Primes, GenerateNttPrimes) {
+    const std::size_t n = 4096;
+    const auto primes = xu::generate_ntt_primes(50, n, 6);
+    ASSERT_EQ(primes.size(), 6u);
+    uint64_t prev = ~0ull;
+    for (const auto &q : primes) {
+        EXPECT_TRUE(xu::is_prime(q.value()));
+        EXPECT_EQ(q.bit_count(), 50);
+        EXPECT_EQ((q.value() - 1) % (2 * n), 0u) << "not NTT friendly";
+        EXPECT_LT(q.value(), prev) << "must be distinct and descending";
+        prev = q.value();
+    }
+}
+
+TEST(Primes, GenerateRejectsBadArgs) {
+    EXPECT_THROW(xu::generate_ntt_primes(5, 4096, 1), std::invalid_argument);
+    EXPECT_THROW(xu::generate_ntt_primes(50, 1000, 1), std::invalid_argument);
+}
+
+TEST(Primes, PrimitiveRoots) {
+    const std::size_t n = 1024;
+    const auto primes = xu::generate_ntt_primes(40, n, 3);
+    for (const auto &q : primes) {
+        uint64_t root = 0;
+        ASSERT_TRUE(xu::try_minimal_primitive_root(2 * n, q, &root));
+        // root^(2n) == 1 and root^n == -1 (primitive negacyclic root).
+        EXPECT_EQ(xu::pow_mod(root, 2 * n, q), 1ull);
+        EXPECT_EQ(xu::pow_mod(root, n, q), q.value() - 1);
+    }
+}
+
+TEST(Primes, MinimalRootIsMinimal) {
+    // For a small case we can exhaustively confirm minimality.
+    const xu::Modulus q(257);  // 2^8 + 1, supports 256-th roots
+    uint64_t root = 0;
+    ASSERT_TRUE(xu::try_minimal_primitive_root(16, q, &root));
+    for (uint64_t cand = 2; cand < root; ++cand) {
+        const bool ord16 = xu::pow_mod(cand, 16, q) == 1 &&
+                           xu::pow_mod(cand, 8, q) == q.value() - 1;
+        EXPECT_FALSE(ord16) << "smaller primitive root " << cand << " missed";
+    }
+    EXPECT_EQ(xu::pow_mod(root, 8, q), q.value() - 1);
+}
