@@ -3,54 +3,21 @@
 // noise/scale bookkeeping of the rescale chain.
 #include <gtest/gtest.h>
 
-#include <random>
-
-#include "ckks/evaluator.h"
 #include "ckks/encoder.h"
+#include "ckks/evaluator.h"
+#include "test_common.h"
 
 namespace xc = xehe::ckks;
 
+using xehe::test::expect_close;
+using xehe::test::kScale;
+using TestBench = xehe::test::CkksBench;
+
 namespace {
-
-constexpr double kScale = 1099511627776.0;  // 2^40
-
-struct TestBench {
-    xc::CkksContext context;
-    xc::CkksEncoder encoder;
-    xc::KeyGenerator keygen;
-    xc::Encryptor encryptor;
-    xc::Decryptor decryptor;
-    xc::Evaluator evaluator;
-
-    explicit TestBench(std::size_t n = 4096, std::size_t levels = 4)
-        : context(xc::EncryptionParameters::create(n, levels)),
-          encoder(context),
-          keygen(context),
-          encryptor(context, keygen.create_public_key()),
-          decryptor(context, keygen.secret_key()),
-          evaluator(context) {}
-};
 
 std::vector<std::complex<double>> random_values(std::size_t count, uint64_t seed,
                                                 double magnitude = 1.0) {
-    std::mt19937_64 rng(seed);
-    std::uniform_real_distribution<double> dist(-magnitude, magnitude);
-    std::vector<std::complex<double>> v(count);
-    for (auto &x : v) {
-        x = {dist(rng), dist(rng)};
-    }
-    return v;
-}
-
-void expect_close(const std::vector<std::complex<double>> &got,
-                  const std::vector<std::complex<double>> &expect,
-                  double tolerance, const char *what) {
-    ASSERT_GE(got.size(), expect.size());
-    double max_err = 0;
-    for (std::size_t i = 0; i < expect.size(); ++i) {
-        max_err = std::max(max_err, std::abs(got[i] - expect[i]));
-    }
-    EXPECT_LT(max_err, tolerance) << what;
+    return xehe::test::random_complex(count, seed, magnitude);
 }
 
 }  // namespace

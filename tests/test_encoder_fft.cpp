@@ -3,35 +3,13 @@
 // magnitude preservation, and scale handling.
 #include <gtest/gtest.h>
 
-#include <random>
-
 #include "ckks/encoder.h"
+#include "test_common.h"
 
 namespace xc = xehe::ckks;
-using complexd = std::complex<double>;
-
-namespace {
-
-std::vector<complexd> random_complex(std::size_t count, uint64_t seed) {
-    std::mt19937_64 rng(seed);
-    std::uniform_real_distribution<double> dist(-1.0, 1.0);
-    std::vector<complexd> v(count);
-    for (auto &x : v) {
-        x = {dist(rng), dist(rng)};
-    }
-    return v;
-}
-
-double max_abs_diff(const std::vector<complexd> &a,
-                    const std::vector<complexd> &b) {
-    double m = 0;
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        m = std::max(m, std::abs(a[i] - b[i]));
-    }
-    return m;
-}
-
-}  // namespace
+using xehe::test::complexd;
+using xehe::test::max_abs_diff;
+using xehe::test::random_complex;
 
 class ComplexFftTest : public ::testing::TestWithParam<std::size_t> {};
 

@@ -3,64 +3,26 @@
 // distributivity, rotation composition — plus poly:: helper units.
 #include <gtest/gtest.h>
 
-#include <random>
-
 #include "ckks/encoder.h"
 #include "ckks/evaluator.h"
+#include "test_common.h"
 
 namespace xc = xehe::ckks;
 namespace xu = xehe::util;
 
 namespace {
 
-constexpr double kScale = 1099511627776.0;  // 2^40
-
-struct AlgebraBench {
-    xc::CkksContext context;
-    xc::CkksEncoder encoder;
-    xc::KeyGenerator keygen;
-    xc::Encryptor encryptor;
-    xc::Decryptor decryptor;
-    xc::Evaluator eval;
+/// The shared CKKS bench plus relinearization keys, at the smaller N = 2048
+/// parameter set these algebra tests use.
+struct AlgebraBench : xehe::test::CkksBench {
+    xc::Evaluator &eval = evaluator;
     xc::RelinKeys relin;
 
     AlgebraBench()
-        : context(xc::EncryptionParameters::create(2048, 4)),
-          encoder(context),
-          keygen(context),
-          encryptor(context, keygen.create_public_key()),
-          decryptor(context, keygen.secret_key()),
-          eval(context),
-          relin(keygen.create_relin_keys()) {}
-
-    std::vector<std::complex<double>> values(uint64_t seed) const {
-        std::mt19937_64 rng(seed);
-        std::uniform_real_distribution<double> dist(-1.0, 1.0);
-        std::vector<std::complex<double>> v(context.slots());
-        for (auto &x : v) {
-            x = {dist(rng), dist(rng)};
-        }
-        return v;
-    }
-
-    xc::Ciphertext enc(const std::vector<std::complex<double>> &v) {
-        return encryptor.encrypt(encoder.encode(
-            std::span<const std::complex<double>>(v), kScale));
-    }
-
-    std::vector<std::complex<double>> dec(const xc::Ciphertext &ct) {
-        return encoder.decode(decryptor.decrypt(ct));
-    }
+        : xehe::test::CkksBench(2048, 4), relin(keygen.create_relin_keys()) {}
 };
 
-double max_diff(const std::vector<std::complex<double>> &a,
-                const std::vector<std::complex<double>> &b) {
-    double m = 0;
-    for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
-        m = std::max(m, std::abs(a[i] - b[i]));
-    }
-    return m;
-}
+const auto &max_diff = xehe::test::max_abs_diff;
 
 }  // namespace
 

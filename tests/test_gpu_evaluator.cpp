@@ -7,6 +7,7 @@
 #include <random>
 
 #include "ckks/encoder.h"
+#include "test_common.h"
 #include "xehe/matmul.h"
 #include "xehe/routines.h"
 
@@ -14,36 +15,24 @@ namespace xc = xehe::ckks;
 namespace xr = xehe::core;
 namespace xg = xehe::xgpu;
 
+using xehe::test::kScale;
+
 namespace {
 
-constexpr double kScale = 1099511627776.0;  // 2^40
-
-struct GpuBench {
-    xc::CkksContext context;
-    xc::CkksEncoder encoder;
-    xc::KeyGenerator keygen;
-    xc::Encryptor encryptor;
-    xc::Decryptor decryptor;
-    xc::Evaluator cpu;
+/// The shared CKKS bench plus a simulated GPU context and evaluator; the
+/// CPU evaluator (`cpu`) is the bit-exactness oracle for the GPU one.
+struct GpuBench : xehe::test::CkksBench {
+    xc::Evaluator &cpu = evaluator;
     xr::GpuContext gpu;
     xr::GpuEvaluator eval;
     xc::RelinKeys relin;
 
     explicit GpuBench(std::size_t n = 2048, std::size_t levels = 3,
                       xr::GpuOptions opts = {})
-        : context(xc::EncryptionParameters::create(n, levels)),
-          encoder(context),
-          keygen(context),
-          encryptor(context, keygen.create_public_key()),
-          decryptor(context, keygen.secret_key()),
-          cpu(context),
+        : xehe::test::CkksBench(n, levels),
           gpu(context, xg::device1(), opts),
           eval(gpu),
-          relin(keygen.create_relin_keys()) {
-        // Small work-groups so toy polynomial degrees still exercise the
-        // staged kernels.
-        (void)0;
-    }
+          relin(keygen.create_relin_keys()) {}
 
     xc::Ciphertext encrypt_random(uint64_t seed) {
         std::mt19937_64 rng(seed);

@@ -4,16 +4,14 @@
 
 #include <random>
 
+#include "test_common.h"
 #include "util/modarith.h"
 
 namespace xu = xehe::util;
 
-namespace {
+using xehe::test::test_moduli;
 
-std::vector<uint64_t> test_moduli() {
-    return {2, 3, 17, 257, 0xFFFFull, (1ull << 30) - 35, 0x7FFFFFFFFCA01ull,
-            (1ull << 50) - 27, 1152921504606830593ull /* 2^60-ish NTT prime */};
-}
+namespace {
 
 uint64_t ref_mulmod(uint64_t a, uint64_t b, uint64_t q) {
     return static_cast<uint64_t>((static_cast<unsigned __int128>(a) * b) % q);

@@ -1,0 +1,149 @@
+// Golden bit-exactness: every simulated-GPU NTT variant must produce output
+// identical to the reference transform at the paper-scale sizes
+// N in {1024, 4096, 16384} under the default (paper) kernel configuration,
+// both for single transforms and for multi-poly / multi-RNS batches.
+// Complements test_ntt_gpu.cpp, which sweeps small sizes with shrunken SLM
+// blocks; here the default slm_block/wg_size path is what is under test.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "ntt/ntt_gpu.h"
+#include "test_common.h"
+
+namespace xn = xehe::ntt;
+namespace xg = xehe::xgpu;
+namespace xt = xehe::test;
+
+namespace {
+
+const xn::NttVariant kAllVariants[] = {
+    xn::NttVariant::NaiveRadix2,   xn::NttVariant::StagedSimd8,
+    xn::NttVariant::StagedSimd16,  xn::NttVariant::StagedSimd32,
+    xn::NttVariant::LocalRadix4,   xn::NttVariant::LocalRadix8,
+    xn::NttVariant::LocalRadix16,
+};
+
+/// Batches and reference transforms are expensive at N = 16384; share them
+/// across all 7 variants instead of rebuilding per test.
+struct GoldenFixture {
+    xt::Batch batch;
+    std::vector<uint64_t> expect_forward;
+
+    GoldenFixture(std::size_t n, std::size_t polys, std::size_t rns)
+        : batch(xt::make_batch(n, polys, rns, /*seed=*/n + 31 * polys + rns)),
+          expect_forward(xt::reference_forward(batch)) {}
+
+    static const GoldenFixture &get(std::size_t n, std::size_t polys,
+                                    std::size_t rns) {
+        static std::map<std::tuple<std::size_t, std::size_t, std::size_t>,
+                        GoldenFixture>
+            cache;
+        auto key = std::make_tuple(n, polys, rns);
+        auto it = cache.find(key);
+        if (it == cache.end()) {
+            it = cache.try_emplace(key, n, polys, rns).first;
+        }
+        return it->second;
+    }
+};
+
+xn::GpuNtt make_gpu_ntt(xg::Queue &queue, xn::NttVariant variant) {
+    xn::NttConfig cfg;  // default slm_block = 4096, wg_size = 512: the
+    cfg.variant = variant;  // paper's operating configuration
+    return xn::GpuNtt(queue, cfg);
+}
+
+}  // namespace
+
+class NttGoldenTest
+    : public ::testing::TestWithParam<std::tuple<xn::NttVariant, std::size_t>> {
+};
+
+TEST_P(NttGoldenTest, SingleTransformBitExact) {
+    const auto [variant, n] = GetParam();
+    const auto &golden = GoldenFixture::get(n, 1, 1);
+    auto data = golden.batch.data;
+
+    xg::Queue queue(xg::device1());
+    auto gpu = make_gpu_ntt(queue, variant);
+    gpu.forward(data, 1, golden.batch.tables);
+    EXPECT_EQ(data, golden.expect_forward)
+        << xn::variant_name(variant) << " n=" << n;
+}
+
+TEST_P(NttGoldenTest, MultiPolyMultiRnsBatchBitExact) {
+    const auto [variant, n] = GetParam();
+    // 3 polynomials x 2 RNS components: the ciphertext-shaped batch the
+    // dispatcher sees after an unrelinearized multiply.
+    const auto &golden = GoldenFixture::get(n, 3, 2);
+    auto data = golden.batch.data;
+
+    xg::Queue queue(xg::device1());
+    auto gpu = make_gpu_ntt(queue, variant);
+    gpu.forward(data, golden.batch.polys, golden.batch.tables);
+    EXPECT_EQ(data, golden.expect_forward)
+        << xn::variant_name(variant) << " n=" << n;
+}
+
+TEST_P(NttGoldenTest, InverseRoundtripBitExact) {
+    const auto [variant, n] = GetParam();
+    const auto &golden = GoldenFixture::get(n, 2, 2);
+    auto data = golden.batch.data;
+
+    xg::Queue queue(xg::device2());
+    auto gpu = make_gpu_ntt(queue, variant);
+    gpu.forward(data, golden.batch.polys, golden.batch.tables);
+    gpu.inverse(data, golden.batch.polys, golden.batch.tables);
+    EXPECT_EQ(data, golden.batch.data)
+        << xn::variant_name(variant) << " n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSizes, NttGoldenTest,
+    ::testing::Combine(::testing::ValuesIn(kAllVariants),
+                       ::testing::Values(1024, 4096, 16384)),
+    [](const auto &info) {
+        return std::string(xn::variant_name(std::get<0>(info.param))) + "_n" +
+               std::to_string(std::get<1>(info.param));
+    });
+
+TEST(NttGolden, AllVariantsAgreeWithEachOther) {
+    // Transitivity sanity: run every variant on the same batch and require
+    // a single common output image (equal to the reference).
+    const auto &golden = GoldenFixture::get(1024, 2, 3);
+    for (const auto variant : kAllVariants) {
+        auto data = golden.batch.data;
+        xg::Queue queue(xg::device1());
+        auto gpu = make_gpu_ntt(queue, variant);
+        gpu.forward(data, golden.batch.polys, golden.batch.tables);
+        EXPECT_EQ(data, golden.expect_forward) << xn::variant_name(variant);
+    }
+}
+
+TEST(NttGolden, GpuInverseMatchesReferenceInverse) {
+    // The GPU inverse must match the host inverse directly, not only close
+    // the forward/inverse round trip.
+    const auto &golden = GoldenFixture::get(4096, 2, 2);
+    xt::Batch fwd{golden.expect_forward, golden.batch.polys,
+                  golden.batch.tables};
+    const auto expect = xt::reference_inverse(fwd);
+    EXPECT_EQ(expect, golden.batch.data)
+        << "host inverse must undo the host forward";
+    for (const auto variant : kAllVariants) {
+        auto data = golden.expect_forward;
+        xg::Queue queue(xg::device1());
+        auto gpu = make_gpu_ntt(queue, variant);
+        gpu.inverse(data, golden.batch.polys, golden.batch.tables);
+        EXPECT_EQ(data, expect) << xn::variant_name(variant);
+    }
+}
+
+TEST(NttGolden, ReferenceMatchesNaiveOracle) {
+    // Anchor the golden image itself against the O(N^2) DFT at the smallest
+    // paper size (the oracle is quadratic; 1024 is cheap, 16384 is not).
+    const auto &golden = GoldenFixture::get(1024, 1, 1);
+    const auto oracle = xt::naive_forward(
+        std::span<const uint64_t>(golden.batch.data), golden.batch.tables[0]);
+    EXPECT_EQ(golden.expect_forward, oracle);
+}

@@ -4,49 +4,18 @@
 // radix-16).
 #include <gtest/gtest.h>
 
-#include <random>
-
 #include "ntt/ntt_gpu.h"
+#include "test_common.h"
 
 namespace xn = xehe::ntt;
 namespace xg = xehe::xgpu;
 namespace xu = xehe::util;
 
+using xehe::test::Batch;
+using xehe::test::make_batch;
+using xehe::test::reference_forward;
+
 namespace {
-
-struct Batch {
-    std::vector<uint64_t> data;
-    std::size_t polys;
-    std::vector<xn::NttTables> tables;
-};
-
-Batch make_batch(std::size_t n, std::size_t polys, std::size_t rns,
-                 uint64_t seed) {
-    Batch b;
-    b.polys = polys;
-    const auto moduli = xu::generate_ntt_primes(50, n, rns);
-    b.tables = xn::make_ntt_tables(n, moduli);
-    b.data.resize(polys * rns * n);
-    std::mt19937_64 rng(seed);
-    for (std::size_t t = 0; t < polys * rns; ++t) {
-        const uint64_t q = moduli[t % rns].value();
-        for (std::size_t i = 0; i < n; ++i) {
-            b.data[t * n + i] = rng() % q;
-        }
-    }
-    return b;
-}
-
-std::vector<uint64_t> reference_forward(const Batch &b) {
-    std::vector<uint64_t> expect = b.data;
-    const std::size_t n = b.tables[0].n();
-    const std::size_t rns = b.tables.size();
-    for (std::size_t t = 0; t < b.polys * rns; ++t) {
-        std::span<uint64_t> slice(expect.data() + t * n, n);
-        xn::ntt_forward(slice, b.tables[t % rns]);
-    }
-    return expect;
-}
 
 const xn::NttVariant kAllVariants[] = {
     xn::NttVariant::NaiveRadix2,   xn::NttVariant::StagedSimd8,

@@ -2,26 +2,13 @@
 // roundtrip identities, and the convolution theorem.
 #include <gtest/gtest.h>
 
-#include <random>
-
 #include "ntt/ntt_ref.h"
+#include "test_common.h"
 
 namespace xn = xehe::ntt;
 namespace xu = xehe::util;
 
-namespace {
-
-std::vector<uint64_t> random_poly(std::size_t n, const xu::Modulus &q,
-                                  uint64_t seed) {
-    std::mt19937_64 rng(seed);
-    std::vector<uint64_t> a(n);
-    for (auto &x : a) {
-        x = rng() % q.value();
-    }
-    return a;
-}
-
-}  // namespace
+using xehe::test::random_poly;
 
 class NttRefTest : public ::testing::TestWithParam<std::size_t> {};
 

@@ -1,0 +1,157 @@
+// xgpu::Profiler accounting: per-kernel-class aggregation, the NTT /
+// non-NTT split behind Figures 5, 16 and 18, and the simulated-clock
+// bookkeeping across submit / wait / transfer on the queue timeline.
+#include <gtest/gtest.h>
+
+#include "ntt/ntt_gpu.h"
+#include "test_common.h"
+#include "xgpu/queue.h"
+
+namespace xn = xehe::ntt;
+namespace xg = xehe::xgpu;
+namespace xt = xehe::test;
+
+namespace {
+
+xg::KernelStats make_stats(const char *name, bool is_ntt, double alu_ops) {
+    xg::KernelStats s;
+    s.name = name;
+    s.is_ntt = is_ntt;
+    s.alu_ops = alu_ops;
+    s.work_items = 256;
+    return s;
+}
+
+}  // namespace
+
+TEST(Profiler, StartsEmpty) {
+    xg::Profiler p;
+    EXPECT_DOUBLE_EQ(p.total_ns(), 0.0);
+    EXPECT_DOUBLE_EQ(p.ntt_ns(), 0.0);
+    EXPECT_DOUBLE_EQ(p.other_ns(), 0.0);
+    EXPECT_DOUBLE_EQ(p.ntt_fraction(), 0.0) << "empty profiler must not NaN";
+    EXPECT_TRUE(p.entries().empty());
+}
+
+TEST(Profiler, AggregatesPerKernelClass) {
+    xg::Profiler p;
+    p.record(make_stats("ntt_radix8_slm", true, 1000.0), 10.0);
+    p.record(make_stats("ntt_radix8_slm", true, 1000.0), 30.0);
+    p.record(make_stats("dyadic_mul", false, 500.0), 5.0);
+
+    ASSERT_EQ(p.entries().size(), 2u);
+    const auto &ntt = p.entries().at("ntt_radix8_slm");
+    EXPECT_EQ(ntt.launches, 2u);
+    EXPECT_DOUBLE_EQ(ntt.time_ns, 40.0);
+    EXPECT_DOUBLE_EQ(ntt.alu_ops, 2000.0);
+    EXPECT_TRUE(ntt.is_ntt);
+
+    const auto &mul = p.entries().at("dyadic_mul");
+    EXPECT_EQ(mul.launches, 1u);
+    EXPECT_FALSE(mul.is_ntt);
+
+    EXPECT_DOUBLE_EQ(p.total_ns(), 45.0);
+    EXPECT_DOUBLE_EQ(p.total_alu_ops(), 2500.0);
+}
+
+TEST(Profiler, NttSplitMatchesFig5Bookkeeping) {
+    // The Fig. 5/16/18 quantity is time-weighted: ntt_fraction is NTT time
+    // over total time, with everything not tagged is_ntt in the complement.
+    xg::Profiler p;
+    p.record(make_stats("ntt_fwd", true, 1.0), 70.0);
+    p.record(make_stats("ntt_inv", true, 1.0), 5.0);
+    p.record(make_stats("key_switch_inner", false, 1.0), 20.0);
+    p.record(make_stats("rescale", false, 1.0), 5.0);
+
+    EXPECT_DOUBLE_EQ(p.ntt_ns(), 75.0);
+    EXPECT_DOUBLE_EQ(p.other_ns(), 25.0);
+    EXPECT_DOUBLE_EQ(p.ntt_fraction(), 0.75);
+    EXPECT_DOUBLE_EQ(p.ntt_ns() + p.other_ns(), p.total_ns())
+        << "split must partition the total";
+}
+
+TEST(Profiler, ResetClearsEverything) {
+    xg::Profiler p;
+    p.record(make_stats("k", true, 9.0), 3.0);
+    p.reset();
+    EXPECT_TRUE(p.entries().empty());
+    EXPECT_DOUBLE_EQ(p.total_ns(), 0.0);
+    EXPECT_DOUBLE_EQ(p.ntt_ns(), 0.0);
+    EXPECT_DOUBLE_EQ(p.total_alu_ops(), 0.0);
+    EXPECT_DOUBLE_EQ(p.ntt_fraction(), 0.0);
+}
+
+TEST(ProfilerQueue, ClockAdvancesAcrossSubmitWaitTransfer) {
+    xg::Queue queue(xg::device1());
+    const auto &spec = queue.spec();
+
+    // submit: clock advances by exactly the recorded kernel time.
+    xg::ElementwiseKernel k("unit", 256, [](std::size_t) {},
+                            make_stats("unit", false, 1e6));
+    const double t_kernel = queue.submit(k);
+    EXPECT_GT(t_kernel, 0.0);
+    EXPECT_DOUBLE_EQ(queue.clock_ns(), t_kernel);
+
+    // wait: charges the blocking host-sync overhead, nothing else.
+    queue.wait();
+    const double after_wait = t_kernel + spec.host_sync_overhead_ns;
+    EXPECT_DOUBLE_EQ(queue.clock_ns(), after_wait);
+
+    // transfer: PCIe-class link plus one launch overhead.
+    const std::size_t bytes = 1 << 20;
+    const double t_transfer = queue.transfer(bytes);
+    EXPECT_GT(t_transfer, spec.kernel_launch_overhead_ns);
+    EXPECT_DOUBLE_EQ(queue.clock_ns(), after_wait + t_transfer);
+
+    // Profiler accounts kernels only; wait/transfer are timeline-only.
+    EXPECT_DOUBLE_EQ(queue.profiler().total_ns(), t_kernel);
+    EXPECT_EQ(queue.profiler().entries().size(), 1u);
+
+    queue.reset_clock();
+    EXPECT_DOUBLE_EQ(queue.clock_ns(), 0.0);
+    EXPECT_DOUBLE_EQ(queue.profiler().total_ns(), t_kernel)
+        << "clock reset must not erase profiler history";
+}
+
+TEST(ProfilerQueue, TransferScalesWithBytes) {
+    xg::Queue queue(xg::device2());
+    const double small = queue.transfer(1 << 10);
+    const double large = queue.transfer(8 << 20);
+    EXPECT_GT(large, small);
+    // Launch overhead dominates tiny transfers; bandwidth dominates big ones.
+    const double payload_small = small - queue.spec().kernel_launch_overhead_ns;
+    const double payload_large = large - queue.spec().kernel_launch_overhead_ns;
+    EXPECT_NEAR(payload_large / payload_small, 8192.0, 1.0);
+}
+
+TEST(ProfilerQueue, NttFractionOnRealPipeline) {
+    // Run a real GPU NTT plus one non-NTT elementwise kernel and check the
+    // split: NTT kernels all tagged, fraction strictly inside (0, 1).
+    auto batch = xt::make_batch(256, 1, 2, 11);
+    xg::Queue queue(xg::device1());
+    xn::NttConfig cfg;
+    cfg.variant = xn::NttVariant::LocalRadix8;
+    cfg.slm_block = 64;
+    cfg.wg_size = 32;
+    xn::GpuNtt gpu(queue, cfg);
+    gpu.forward(batch.data, batch.polys, batch.tables);
+
+    const double ntt_only = queue.profiler().ntt_ns();
+    EXPECT_GT(ntt_only, 0.0);
+    EXPECT_DOUBLE_EQ(queue.profiler().ntt_fraction(), 1.0);
+
+    xg::ElementwiseKernel mul("dyadic_mul", 512, [](std::size_t) {},
+                              make_stats("dyadic_mul", false, 1e7));
+    queue.submit(mul);
+
+    const auto &p = queue.profiler();
+    EXPECT_DOUBLE_EQ(p.ntt_ns(), ntt_only) << "non-NTT kernel must not move the NTT bucket";
+    EXPECT_GT(p.other_ns(), 0.0);
+    EXPECT_GT(p.ntt_fraction(), 0.0);
+    EXPECT_LT(p.ntt_fraction(), 1.0);
+
+    // wait() must leave the kernel accounting untouched.
+    const double total_before = p.total_ns();
+    queue.wait();
+    EXPECT_DOUBLE_EQ(p.total_ns(), total_before);
+}
