@@ -24,7 +24,8 @@ using xehe::xgpu::Queue;
 
 /// NTT tables cache keyed by (n, rns) — prime search and root powers are
 /// expensive enough to reuse across sweep points.
-inline const std::vector<NttTables> &tables_for(std::size_t n, std::size_t rns) {
+inline const std::vector<NttTables> &tables_for(std::size_t n,
+                                                std::size_t rns) {
     static std::map<std::pair<std::size_t, std::size_t>, std::vector<NttTables>>
         cache;
     auto key = std::make_pair(n, rns);
@@ -62,12 +63,16 @@ inline NttRun run_ntt(const DeviceSpec &spec, NttVariant variant, IsaMode isa,
 }
 
 inline void print_header(const char *title, const char *paper_ref) {
-    std::printf("\n================================================================\n");
+    std::printf(
+        "\n================================================================"
+        "\n");
     std::printf("%s\n(reproduces %s)\n", title, paper_ref);
-    std::printf("================================================================\n");
+    std::printf(
+        "================================================================\n");
 }
 
-inline void print_row(const std::string &label, const std::vector<double> &values,
+inline void print_row(const std::string &label,
+                      const std::vector<double> &values,
                       const char *fmt = "%10.3f") {
     std::printf("%-28s", label.c_str());
     for (double v : values) {
@@ -76,7 +81,8 @@ inline void print_row(const std::string &label, const std::vector<double> &value
     std::printf("\n");
 }
 
-inline void print_cols(const char *label, const std::vector<std::string> &cols) {
+inline void print_cols(const char *label,
+                       const std::vector<std::string> &cols) {
     std::printf("%-28s", label);
     for (const auto &c : cols) {
         std::printf("%10s", c.c_str());

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Compare a bench JSON run against the checked-in baseline.
+
+Usage: compare_baseline.py BASELINE.json CURRENT.json [--tolerance 0.25]
+
+Both files use the google-benchmark JSON layout ({"benchmarks": [{"name",
+"real_time", ...}]}).  Every entry in the baseline must exist in the
+current run.  Entries whose name ends in "_speedup" are
+higher-is-better (regression = current below baseline / (1 + tol));
+everything else is a time (regression = current above baseline * (1 + tol)).
+
+The baseline holds only the *deterministic simulated* metrics emitted by
+fig_multitile_batch --json — wall-clock microbenchmark numbers vary too
+much across CI runners to gate on.  Exits 1 on any regression.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_metrics(path):
+    with open(path) as f:
+        data = json.load(f)
+    return {b["name"]: float(b["real_time"]) for b in data["benchmarks"]}
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed relative regression (default 0.25)")
+    args = parser.parse_args()
+
+    baseline = load_metrics(args.baseline)
+    current = load_metrics(args.current)
+
+    failures = []
+    drifts = []
+    print(f"{'metric':<44}{'baseline':>12}{'current':>12}{'ratio':>8}")
+    for name, base in sorted(baseline.items()):
+        if name not in current:
+            failures.append(f"{name}: missing from current run")
+            print(f"{name:<44}{base:>12.3f}{'MISSING':>12}")
+            continue
+        cur = current[name]
+        higher_is_better = name.endswith("_speedup")
+        if higher_is_better:
+            # cur == 0 on a higher-is-better metric is a total collapse.
+            ratio = base / cur if cur else float("inf")
+        else:
+            ratio = cur / base if base else 1.0
+        flag = ""
+        if ratio > 1.0 + args.tolerance:
+            failures.append(
+                f"{name}: {base:.3f} -> {cur:.3f} "
+                f"({(ratio - 1.0) * 100.0:.1f}% worse)")
+            flag = "  REGRESSION"
+        elif ratio < 1.0 - args.tolerance:
+            drifts.append(
+                f"{name}: {base:.3f} -> {cur:.3f} (better; refresh baseline?)")
+            flag = "  improved"
+        print(f"{name:<44}{base:>12.3f}{cur:>12.3f}{ratio:>8.3f}{flag}")
+
+    for d in drifts:
+        print(f"note: {d}")
+    if failures:
+        print(f"\n{len(failures)} regression(s) beyond "
+              f"{args.tolerance * 100.0:.0f}% tolerance:", file=sys.stderr)
+        for f in failures:
+            print(f"  {f}", file=sys.stderr)
+        return 1
+    print(f"\nall {len(baseline)} metrics within "
+          f"{args.tolerance * 100.0:.0f}% of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,8 @@ int main() {
 
     for (const auto &spec : {xehe::xgpu::device1(), xehe::xgpu::device2()}) {
         print_header(
-            ("Fig. 5: routine profiling on " + spec.name + " (naive config)").c_str(),
+            ("Fig. 5: routine profiling on " + spec.name + " (naive config)")
+                .c_str(),
             "Figure 5");
         GpuOptions opts;
         opts.ntt_variant = NttVariant::NaiveRadix2;
@@ -48,7 +49,8 @@ int main() {
                     100.0 * weighted_ntt / total);
         std::printf("\nNormalized execution time (max = 1):\n");
         for (const auto &[name, p] : rows) {
-            std::printf("  %-20s%8.3f\n", name.c_str(), p.total_ms() / max_total);
+            std::printf("  %-20s%8.3f\n", name.c_str(),
+                        p.total_ms() / max_total);
         }
     }
     std::printf(

@@ -7,7 +7,8 @@
 int main() {
     using namespace bench;
     const auto spec = xehe::xgpu::device1();
-    const NttVariant variants[] = {NttVariant::NaiveRadix2, NttVariant::StagedSimd8,
+    const NttVariant variants[] = {NttVariant::NaiveRadix2,
+                                   NttVariant::StagedSimd8,
                                    NttVariant::StagedSimd16,
                                    NttVariant::StagedSimd32};
     const char *names[] = {"naive", "SIMD(8,8)", "SIMD(16,8)", "SIMD(32,8)"};
@@ -22,13 +23,15 @@ int main() {
                             {32768, 1024}};
     std::vector<std::string> cols;
     for (const auto &p : points) {
-        cols.push_back(std::to_string(p.n / 1024) + "K," + std::to_string(p.inst));
+        cols.push_back(std::to_string(p.n / 1024) + "K," +
+                       std::to_string(p.inst));
     }
     print_cols("variant \\ (N, inst)", cols);
     std::vector<double> naive_ns;
     for (const auto &p : points) {
         naive_ns.push_back(
-            run_ntt(spec, NttVariant::NaiveRadix2, IsaMode::Compiler, 1, p.n, p.inst)
+            run_ntt(spec, NttVariant::NaiveRadix2, IsaMode::Compiler, 1, p.n,
+                    p.inst)
                 .time_ns);
     }
     for (std::size_t v = 0; v < 4; ++v) {
@@ -43,7 +46,8 @@ int main() {
 
     print_header("Fig. 12(b): efficiency vs instance count, 32K-point NTT",
                  "Figure 12b");
-    const std::size_t instances[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+    const std::size_t instances[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                     1024};
     cols.clear();
     for (auto i : instances) {
         cols.push_back(std::to_string(i));
@@ -53,14 +57,15 @@ int main() {
         std::vector<double> eff;
         for (auto inst : instances) {
             eff.push_back(100.0 *
-                          run_ntt(spec, variants[v], IsaMode::Compiler, 1, 32768,
-                                  inst)
+                          run_ntt(spec, variants[v], IsaMode::Compiler, 1,
+                                  32768, inst)
                               .efficiency);
         }
         print_row(names[v], eff, "%9.2f%%");
     }
     std::printf(
-        "\nPaper reference points: naive 10.08%%, SIMD(8,8) 12.93%% at 32K/1024;\n"
+        "\nPaper reference points: naive 10.08%%, SIMD(8,8) 12.93%% at "
+        "32K/1024;\n"
         "SIMD(8,8) up to 1.28x over naive; SIMD(32,8) slower than baseline.\n");
     return 0;
 }

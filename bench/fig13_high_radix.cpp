@@ -9,7 +9,8 @@
 int main(int argc, char **argv) {
     using namespace bench;
     const auto spec = xehe::xgpu::device1();
-    const NttVariant variants[] = {NttVariant::NaiveRadix2, NttVariant::LocalRadix4,
+    const NttVariant variants[] = {NttVariant::NaiveRadix2,
+                                   NttVariant::LocalRadix4,
                                    NttVariant::LocalRadix8,
                                    NttVariant::LocalRadix16};
     const char *names[] = {"naive", "local-radix-4", "local-radix-8",
@@ -25,13 +26,15 @@ int main(int argc, char **argv) {
                             {32768, 1024}};
     std::vector<std::string> cols;
     for (const auto &p : points) {
-        cols.push_back(std::to_string(p.n / 1024) + "K," + std::to_string(p.inst));
+        cols.push_back(std::to_string(p.n / 1024) + "K," +
+                       std::to_string(p.inst));
     }
     print_cols("variant \\ (N, inst)", cols);
     std::vector<double> naive_ns;
     for (const auto &p : points) {
         naive_ns.push_back(
-            run_ntt(spec, NttVariant::NaiveRadix2, IsaMode::Compiler, 1, p.n, p.inst)
+            run_ntt(spec, NttVariant::NaiveRadix2, IsaMode::Compiler, 1, p.n,
+                    p.inst)
                 .time_ns);
     }
     for (std::size_t v = 0; v < 4; ++v) {
@@ -46,7 +49,8 @@ int main(int argc, char **argv) {
 
     print_header("Fig. 13(b): efficiency vs instance count, 32K-point NTT",
                  "Figure 13b");
-    const std::size_t instances[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024};
+    const std::size_t instances[] = {1, 2, 4, 8, 16, 32, 64, 128, 256, 512,
+                                     1024};
     cols.clear();
     for (auto i : instances) {
         cols.push_back(std::to_string(i));
@@ -56,7 +60,8 @@ int main(int argc, char **argv) {
         std::vector<double> eff;
         for (auto inst : instances) {
             eff.push_back(100.0 *
-                          run_ntt(spec, variants[v], IsaMode::Compiler, 1, 32768,
+                          run_ntt(spec, variants[v], IsaMode::Compiler, 1,
+                                  32768,
                                   inst)
                               .efficiency);
         }

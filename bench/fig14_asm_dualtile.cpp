@@ -16,18 +16,20 @@ int main() {
                             {32768, 512}, {32768, 1024}};
     std::vector<std::string> cols;
     for (const auto &p : points) {
-        cols.push_back(std::to_string(p.n / 1024) + "K," + std::to_string(p.inst));
+        cols.push_back(std::to_string(p.n / 1024) + "K," +
+                       std::to_string(p.inst));
     }
 
-    print_header("Fig. 14(a): radix-8 SLM NTT with inline assembly (Device1, 1 tile)",
-                 "Figure 14a");
+    print_header(
+        "Fig. 14(a): radix-8 SLM NTT with inline assembly (Device1, 1 tile)",
+        "Figure 14a");
     print_cols("metric \\ (N, inst)", cols);
     std::vector<double> wo_eff, w_eff, gain;
     for (const auto &p : points) {
-        const auto wo = run_ntt(spec, NttVariant::LocalRadix8, IsaMode::Compiler, 1,
-                                p.n, p.inst);
-        const auto w = run_ntt(spec, NttVariant::LocalRadix8, IsaMode::InlineAsm, 1,
-                               p.n, p.inst);
+        const auto wo = run_ntt(spec, NttVariant::LocalRadix8,
+                                IsaMode::Compiler, 1, p.n, p.inst);
+        const auto w = run_ntt(spec, NttVariant::LocalRadix8,
+                               IsaMode::InlineAsm, 1, p.n, p.inst);
         wo_eff.push_back(100.0 * wo.efficiency);
         w_eff.push_back(100.0 * w.efficiency);
         gain.push_back(100.0 * (wo.time_ns / w.time_ns - 1.0));
@@ -44,10 +46,10 @@ int main() {
         const double naive = run_ntt(spec, NttVariant::NaiveRadix2,
                                      IsaMode::Compiler, 1, p.n, p.inst)
                                  .time_ns;
-        const auto one = run_ntt(spec, NttVariant::LocalRadix8, IsaMode::InlineAsm,
-                                 1, p.n, p.inst);
-        const auto two = run_ntt(spec, NttVariant::LocalRadix8, IsaMode::InlineAsm,
-                                 2, p.n, p.inst);
+        const auto one = run_ntt(spec, NttVariant::LocalRadix8,
+                                 IsaMode::InlineAsm, 1, p.n, p.inst);
+        const auto two = run_ntt(spec, NttVariant::LocalRadix8,
+                                 IsaMode::InlineAsm, 2, p.n, p.inst);
         sp1.push_back(naive / one.time_ns);
         sp2.push_back(naive / two.time_ns);
         eff2.push_back(100.0 * two.efficiency);

@@ -18,15 +18,17 @@ int main() {
                   {total - butterfly, butterfly, total}, "%10.0f");
     }
 
-    print_header("Fig. 15: roofline on Device1 (32K-point, 8-RNS, 1024 instances)",
-                 "Figure 15");
+    print_header(
+        "Fig. 15: roofline on Device1 (32K-point, 8-RNS, 1024 instances)",
+        "Figure 15");
     const double peak = spec.peak_int64_ops(1);
     const double bw = spec.gmem_bandwidth(1);
     std::printf("int64 peak (1 tile):        %8.1f Gop/s\n", peak * 1e-9);
     std::printf("int64 peak (2 tiles):       %8.1f Gop/s\n",
                 spec.peak_int64_ops(2) * 1e-9);
-    std::printf("global memory bandwidth:    %8.1f GB/s (ridge at %.2f op/byte)\n\n",
-                bw * 1e-9, peak / bw);
+    std::printf(
+        "global memory bandwidth:    %8.1f GB/s (ridge at %.2f op/byte)\n\n",
+        bw * 1e-9, peak / bw);
 
     struct Entry {
         const char *label;
@@ -40,9 +42,11 @@ int main() {
         {"SLM+radix-4", NttVariant::LocalRadix4, IsaMode::Compiler, 1},
         {"SLM+radix-8", NttVariant::LocalRadix8, IsaMode::Compiler, 1},
         {"SLM+radix-8+asm", NttVariant::LocalRadix8, IsaMode::InlineAsm, 1},
-        {"SLM+radix-8+dual-tile", NttVariant::LocalRadix8, IsaMode::InlineAsm, 2},
+        {"SLM+radix-8+dual-tile", NttVariant::LocalRadix8, IsaMode::InlineAsm,
+         2},
     };
-    std::printf("%-24s%16s%16s%14s\n", "variant", "op density", "achieved Gop/s",
+    std::printf("%-24s%16s%16s%14s\n", "variant", "op density",
+                "achieved Gop/s",
                 "% of peak");
     for (const auto &e : entries) {
         Queue queue(spec, ExecConfig{e.tiles, e.isa, true});

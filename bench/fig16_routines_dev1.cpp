@@ -26,7 +26,8 @@ int main() {
         {"naive", NttVariant::NaiveRadix2, IsaMode::Compiler, 1},
         {"opt-NTT", NttVariant::LocalRadix8, IsaMode::Compiler, 1},
         {"opt-NTT+asm", NttVariant::LocalRadix8, IsaMode::InlineAsm, 1},
-        {"opt-NTT+asm+dual-tile", NttVariant::LocalRadix8, IsaMode::InlineAsm, 2},
+        {"opt-NTT+asm+dual-tile", NttVariant::LocalRadix8, IsaMode::InlineAsm,
+         2},
     };
 
     print_header("Fig. 16: HE evaluation routines on Device1", "Figure 16");

@@ -15,7 +15,8 @@ int main() {
                             {32768, 512}, {32768, 1024}};
     std::vector<std::string> cols;
     for (const auto &p : points) {
-        cols.push_back(std::to_string(p.n / 1024) + "K," + std::to_string(p.inst));
+        cols.push_back(std::to_string(p.n / 1024) + "K," +
+                       std::to_string(p.inst));
     }
 
     struct Step {
@@ -44,7 +45,8 @@ int main() {
         print_row(steps[s].label, eff, "%9.2f%%");
     }
 
-    print_header("Fig. 17 (bottom): speedup over naive on Device2", "Figure 17");
+    print_header("Fig. 17 (bottom): speedup over naive on Device2",
+                 "Figure 17");
     print_cols("step \\ (N, inst)", cols);
     for (std::size_t s = 0; s < std::size(steps); ++s) {
         std::vector<double> speedup;

@@ -54,8 +54,9 @@ int main() {
             }
         }
     }
-    std::printf("\nSIMD(8,8) average: NTT part improved %.1f%%, routines %.1f%%\n",
-                100.0 * sum_ntt_gain / count, 100.0 * sum_total_gain / count);
+    std::printf(
+        "\nSIMD(8,8) average: NTT part improved %.1f%%, routines %.1f%%\n",
+        100.0 * sum_ntt_gain / count, 100.0 * sum_total_gain / count);
     std::printf(
         "Paper reference points: SIMD(8,8) improves the NTT part 34%% and\n"
         "routines 29.6%% on average; final step reaches 2.32-2.41x.\n");

@@ -56,8 +56,9 @@ int main() {
                 if (baseline_ms == 0.0) {
                     baseline_ms = report.sim_total_ms;
                 }
-                std::printf("%-18s%-14s%14.2f%14.2f%14.3f%11.2fx\n", shape.label,
-                            step.label, report.sim_total_ms, report.sim_alloc_ms,
+                std::printf("%-18s%-14s%14.2f%14.2f%14.3f%11.2fx\n",
+                            shape.label, step.label, report.sim_total_ms,
+                            report.sim_alloc_ms,
                             report.sim_total_ms / baseline_ms,
                             baseline_ms / report.sim_total_ms);
             }

@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Merge several google-benchmark-layout JSON files into one artifact.
+
+Usage: merge_bench_json.py OUT.json IN1.json [IN2.json ...]
+
+Inputs that do not exist are skipped with a note (the wall-clock micro
+benches are optional — they are only built when google-benchmark is
+installed), so the CI artifact degrades gracefully.
+"""
+
+import json
+import os
+import sys
+
+
+def main():
+    if len(sys.argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    out_path, inputs = sys.argv[1], sys.argv[2:]
+    merged = {"context": {"sources": []}, "benchmarks": []}
+    for path in inputs:
+        if not os.path.exists(path):
+            print(f"note: {path} not found, skipping")
+            continue
+        with open(path) as f:
+            data = json.load(f)
+        merged["context"]["sources"].append(
+            {"file": os.path.basename(path),
+             "context": data.get("context", {})})
+        merged["benchmarks"].extend(data.get("benchmarks", []))
+    with open(out_path, "w") as f:
+        json.dump(merged, f, indent=2)
+        f.write("\n")
+    print(f"wrote {len(merged['benchmarks'])} entries from "
+          f"{len(merged['context']['sources'])} file(s) to {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

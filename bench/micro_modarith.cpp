@@ -27,7 +27,8 @@ static void BM_AddMod(benchmark::State &state) {
     const auto a = random_inputs(4096, 1), b = random_inputs(4096, 2);
     std::size_t i = 0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(xu::add_mod(a[i & 4095], b[i & 4095], kModulus));
+        benchmark::DoNotOptimize(xu::add_mod(a[i & 4095], b[i & 4095],
+                                             kModulus));
         ++i;
     }
 }
@@ -37,7 +38,8 @@ static void BM_MulModBarrett(benchmark::State &state) {
     const auto a = random_inputs(4096, 3), b = random_inputs(4096, 4);
     std::size_t i = 0;
     for (auto _ : state) {
-        benchmark::DoNotOptimize(xu::mul_mod(a[i & 4095], b[i & 4095], kModulus));
+        benchmark::DoNotOptimize(xu::mul_mod(a[i & 4095], b[i & 4095],
+                                             kModulus));
         ++i;
     }
 }

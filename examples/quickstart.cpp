@@ -53,7 +53,8 @@ int main() {
     // 6. Decrypt + decode.
     const auto decoded = encoder.decode(decryptor.decrypt(ct_prod));
 
-    std::printf("slot        a          b        a*b    decrypted      error\n");
+    std::printf(
+        "slot        a          b        a*b    decrypted      error\n");
     for (std::size_t i : {0u, 1u, 7u, 100u, 4095u}) {
         const double expect = a[i] * b[i];
         std::printf("%4zu %10.5f %10.5f %10.5f %12.5f %10.2e\n", i, a[i], b[i],

@@ -6,7 +6,8 @@ namespace xehe::ckks {
 
 EncryptionParameters EncryptionParameters::create(std::size_t poly_degree,
                                                   std::size_t levels,
-                                                  int data_bits, int special_bits) {
+                                                  int data_bits,
+                                                  int special_bits) {
     util::require(levels >= 1, "need at least one data prime");
     EncryptionParameters params;
     params.poly_degree = poly_degree;
@@ -23,7 +24,8 @@ EncryptionParameters EncryptionParameters::create(std::size_t poly_degree,
     return params;
 }
 
-CkksContext::CkksContext(EncryptionParameters params) : params_(std::move(params)) {
+CkksContext::CkksContext(EncryptionParameters params)
+    : params_(std::move(params)) {
     util::require(util::is_power_of_two(params_.poly_degree),
                   "poly degree must be a power of two");
     util::require(params_.coeff_modulus.size() >= 2,
@@ -42,10 +44,10 @@ CkksContext::CkksContext(EncryptionParameters params) : params_(std::move(params
         for (std::size_t i = 0; i < j; ++i) {
             const Modulus &qi = params_.coeff_modulus[i];
             uint64_t inv = 0;
-            util::require(util::try_invert_mod(params_.coeff_modulus[j].value() %
-                                                   qi.value(),
-                                               qi, &inv),
-                          "coeff moduli must be distinct primes");
+            util::require(
+                util::try_invert_mod(
+                    params_.coeff_modulus[j].value() % qi.value(), qi, &inv),
+                "coeff moduli must be distinct primes");
             inv_last_[j][i] = MultiplyModOperand(inv, qi);
             half_mod_[j][i] = util::barrett_reduce_64(half_[j], qi);
         }

@@ -25,8 +25,10 @@ struct EncryptionParameters {
 
     /// Convenience factory: N, L data primes of `data_bits` bits and one
     /// special prime of `special_bits` bits, all NTT-friendly.
-    static EncryptionParameters create(std::size_t poly_degree, std::size_t levels,
-                                       int data_bits = 50, int special_bits = 60);
+    static EncryptionParameters create(std::size_t poly_degree,
+                                       std::size_t levels,
+                                       int data_bits = 50,
+                                       int special_bits = 60);
 };
 
 class CkksContext {
@@ -41,7 +43,9 @@ public:
     const std::vector<Modulus> &key_modulus() const noexcept {
         return params_.coeff_modulus;
     }
-    std::size_t key_rns() const noexcept { return params_.coeff_modulus.size(); }
+    std::size_t key_rns() const noexcept {
+        return params_.coeff_modulus.size();
+    }
 
     /// Number of data primes L (the maximum ciphertext level).
     std::size_t max_level() const noexcept { return key_rns() - 1; }
@@ -61,7 +65,8 @@ public:
 
     /// (q_j)^{-1} mod q_i, for dropping modulus j onto component i < j —
     /// used by Rescale (j = level-1) and key-switch mod-down (j = special).
-    const MultiplyModOperand &inv_mod(std::size_t j, std::size_t i) const noexcept {
+    const MultiplyModOperand &inv_mod(std::size_t j,
+                                      std::size_t i) const noexcept {
         return inv_last_[j][i];
     }
     /// floor(q_j / 2) and its residue mod q_i (rounding correction).

@@ -11,7 +11,8 @@ ComplexFft::ComplexFft(std::size_t n) : n_(n), log_n_(util::log2_exact(n)) {
     inv_roots_.resize(n);
     for (std::size_t i = 0; i < n; ++i) {
         const double theta = angle * static_cast<double>(i);
-        roots_[util::reverse_bits(i, log_n_)] = {std::cos(theta), std::sin(theta)};
+        roots_[util::reverse_bits(i, log_n_)] = {std::cos(theta),
+                                                 std::sin(theta)};
     }
     inv_roots_[0] = {1.0, 0.0};
     for (std::size_t i = 1; i < n; ++i) {
@@ -139,12 +140,14 @@ Plaintext CkksEncoder::encode(std::span<const double> values, double scale,
 
 Plaintext CkksEncoder::encode(double value, double scale,
                               std::size_t rns_count) const {
-    std::vector<std::complex<double>> broadcast(context_->slots(), {value, 0.0});
+    std::vector<std::complex<double>> broadcast(context_->slots(), {value,
+                                                                    0.0});
     return encode(std::span<const std::complex<double>>(broadcast), scale,
                   rns_count);
 }
 
-std::vector<std::complex<double>> CkksEncoder::decode(const Plaintext &plain) const {
+std::vector<std::complex<double>> CkksEncoder::decode(
+    const Plaintext &plain) const {
     const std::size_t n = context_->n();
     const std::size_t slots = context_->slots();
     util::require(plain.n == n && plain.rns >= 1, "malformed plaintext");

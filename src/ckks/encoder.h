@@ -28,7 +28,8 @@ private:
     std::size_t n_;
     int log_n_;
     std::vector<std::complex<double>> roots_;      // roots_[m+i], bit-reversed
-    std::vector<std::complex<double>> inv_roots_;  // sequential-consumption layout
+    // sequential-consumption layout
+    std::vector<std::complex<double>> inv_roots_;
 };
 
 class CkksEncoder {
@@ -47,7 +48,8 @@ public:
                      std::size_t rns_count = 0) const;
 
     /// Encodes a constant into every slot.
-    Plaintext encode(double value, double scale, std::size_t rns_count = 0) const;
+    Plaintext encode(double value, double scale,
+                     std::size_t rns_count = 0) const;
 
     /// Inverse of encode.
     std::vector<std::complex<double>> decode(const Plaintext &plain) const;

@@ -10,7 +10,8 @@ Ciphertext Encryptor::encrypt(const Plaintext &plain) {
     const std::size_t n = context_->n();
     const std::size_t rns = plain.rns;
     util::require(plain.ntt_form, "encrypt expects NTT-form plaintext");
-    util::require(rns >= 1 && rns <= context_->max_level(), "bad plaintext level");
+    util::require(rns >= 1 && rns <= context_->max_level(),
+                  "bad plaintext level");
 
     Ciphertext ct;
     ct.resize(n, 2, rns);

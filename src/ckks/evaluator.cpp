@@ -7,7 +7,8 @@ namespace xehe::ckks {
 Evaluator::Evaluator(const CkksContext &context)
     : context_(&context), galois_(context.n()) {}
 
-void Evaluator::check_compatible(const Ciphertext &a, const Ciphertext &b) const {
+void Evaluator::check_compatible(const Ciphertext &a,
+                                 const Ciphertext &b) const {
     util::require(a.n == b.n && a.rns == b.rns, "ciphertext level mismatch");
     util::require(a.ntt_form && b.ntt_form, "expected NTT form");
     const double ratio = a.scale / b.scale;
@@ -58,7 +59,8 @@ Ciphertext Evaluator::add_plain(const Ciphertext &a, const Plaintext &p) const {
     return out;
 }
 
-Ciphertext Evaluator::multiply_plain(const Ciphertext &a, const Plaintext &p) const {
+Ciphertext Evaluator::multiply_plain(const Ciphertext &a,
+                                     const Plaintext &p) const {
     util::require(a.rns == p.rns && a.n == p.n, "level mismatch");
     Ciphertext out = a;
     out.scale = a.scale * p.scale;
@@ -149,7 +151,8 @@ void Evaluator::switch_key_inplace(Ciphertext &dest,
         for (std::size_t j = 0; j < l; ++j) {
             const Modulus &qj = context_->key_modulus()[j];
             for (std::size_t k = 0; k < n; ++k) {
-                t[k] = util::sub_mod(util::barrett_reduce_64(special_coeff[k], qj),
+                t[k] = util::sub_mod(util::barrett_reduce_64(special_coeff[k],
+                                                             qj),
                                      context_->half_mod(special, j), qj);
             }
             ntt::ntt_forward(t, context_->table(j));
@@ -158,13 +161,15 @@ void Evaluator::switch_key_inplace(Ciphertext &dest,
             const auto &inv_p = context_->inv_mod(special, j);
             for (std::size_t k = 0; k < n; ++k) {
                 const uint64_t diff = util::sub_mod(aj[k], t[k], qj);
-                dst[k] = util::add_mod(dst[k], util::mul_mod(diff, inv_p, qj), qj);
+                dst[k] = util::add_mod(dst[k], util::mul_mod(diff, inv_p, qj),
+                                       qj);
             }
         }
     }
 }
 
-Ciphertext Evaluator::relinearize(const Ciphertext &a, const RelinKeys &keys) const {
+Ciphertext Evaluator::relinearize(const Ciphertext &a,
+                                  const RelinKeys &keys) const {
     util::require(a.size == 3, "relinearize expects a size-3 ciphertext");
     Ciphertext out;
     out.resize(a.n, 2, a.rns);
@@ -209,7 +214,8 @@ Ciphertext Evaluator::rescale(const Ciphertext &a) const {
             auto dst = out.component(poly_i, j);
             const auto &inv_q = context_->inv_mod(last, j);
             for (std::size_t k = 0; k < n; ++k) {
-                dst[k] = util::mul_mod(util::sub_mod(src[k], t[k], qj), inv_q, qj);
+                dst[k] = util::mul_mod(util::sub_mod(src[k], t[k], qj), inv_q,
+                                       qj);
             }
         }
     }
@@ -224,7 +230,8 @@ Ciphertext Evaluator::mod_switch(const Ciphertext &a) const {
     out.scale = a.scale;
     for (std::size_t p = 0; p < a.size; ++p) {
         const auto src = a.poly(p);
-        std::copy(src.begin(), src.begin() + out.rns * a.n, out.poly(p).begin());
+        std::copy(src.begin(), src.begin() + out.rns * a.n,
+                  out.poly(p).begin());
     }
     return out;
 }
@@ -252,7 +259,8 @@ Ciphertext Evaluator::rotate(const Ciphertext &a, int step,
     return out;
 }
 
-Ciphertext Evaluator::conjugate(const Ciphertext &a, const GaloisKeys &keys) const {
+Ciphertext Evaluator::conjugate(const Ciphertext &a,
+                                const GaloisKeys &keys) const {
     util::require(a.size == 2, "conjugate expects a size-2 ciphertext");
     const uint64_t elt = galois_.conjugation_elt();
     const std::size_t n = a.n;

@@ -37,7 +37,8 @@ public:
 
     /// Cyclic slot rotation by `step` via the Galois automorphism plus key
     /// switching.
-    Ciphertext rotate(const Ciphertext &a, int step, const GaloisKeys &keys) const;
+    Ciphertext rotate(const Ciphertext &a, int step,
+                      const GaloisKeys &keys) const;
 
     /// Complex conjugation of the slots.
     Ciphertext conjugate(const Ciphertext &a, const GaloisKeys &keys) const;

@@ -9,8 +9,9 @@ GaloisTool::GaloisTool(std::size_t n) : n_(n), log_n_(util::log2_exact(n)) {
 uint64_t GaloisTool::elt_from_step(int step) const {
     const std::size_t slots = n_ / 2;
     const uint64_t m = 2 * n_;
-    std::size_t pos = ((step % static_cast<int>(slots)) + static_cast<int>(slots)) %
-                      static_cast<int>(slots);
+    std::size_t pos =
+        ((step % static_cast<int>(slots)) + static_cast<int>(slots)) %
+        static_cast<int>(slots);
     uint64_t elt = 1;
     for (std::size_t i = 0; i < pos; ++i) {
         elt = (elt * 3) % m;
@@ -18,7 +19,8 @@ uint64_t GaloisTool::elt_from_step(int step) const {
     return elt;
 }
 
-const std::vector<std::size_t> &GaloisTool::permutation(uint64_t galois_elt) const {
+const std::vector<std::size_t> &GaloisTool::permutation(
+    uint64_t galois_elt) const {
     util::require((galois_elt & 1) != 0 && galois_elt < 2 * n_,
                   "galois element must be odd and < 2N");
     auto it = tables_.find(galois_elt);

@@ -30,7 +30,8 @@ std::vector<uint64_t> sample_small_ntt(const CkksContext &ctx, std::size_t rns,
 KeyGenerator::KeyGenerator(const CkksContext &context, uint64_t seed)
     : context_(&context), rng_(seed), galois_(context.n()) {
     secret_key_.data =
-        sample_small_ntt(*context_, context_->key_rns(), [&] { return rng_.ternary(); });
+        sample_small_ntt(*context_, context_->key_rns(),
+                         [&] { return rng_.ternary(); });
 }
 
 void KeyGenerator::encrypt_zero_symmetric(std::span<uint64_t> c0,
@@ -95,7 +96,8 @@ RelinKeys KeyGenerator::create_relin_keys() {
     for (std::size_t r = 0; r < k; ++r) {
         const auto &q = context_->key_modulus()[r];
         for (std::size_t i = r * n; i < (r + 1) * n; ++i) {
-            sk_sq[i] = util::mul_mod(secret_key_.data[i], secret_key_.data[i], q);
+            sk_sq[i] = util::mul_mod(secret_key_.data[i], secret_key_.data[i],
+                                     q);
         }
     }
     RelinKeys keys;
@@ -116,8 +118,8 @@ GaloisKeys KeyGenerator::create_galois_keys(std::span<const int> steps) {
         std::vector<uint64_t> target(k * n);
         for (std::size_t r = 0; r < k; ++r) {
             galois_.apply_ntt(
-                std::span<const uint64_t>(secret_key_.data).subspan(r * n, n), elt,
-                std::span<uint64_t>(target).subspan(r * n, n));
+                std::span<const uint64_t>(secret_key_.data).subspan(r * n, n),
+                elt, std::span<uint64_t>(target).subspan(r * n, n));
         }
         result.keys.emplace(elt, make_kswitch_key(target));
     }

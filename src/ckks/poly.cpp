@@ -5,12 +5,14 @@ namespace xehe::ckks::poly {
 namespace {
 void check(std::span<const uint64_t> a, std::span<const Modulus> moduli,
            std::size_t n) {
-    util::require(a.size() == moduli.size() * n, "RNS polynomial size mismatch");
+    util::require(a.size() == moduli.size() * n,
+                  "RNS polynomial size mismatch");
 }
 }  // namespace
 
 void add(std::span<const uint64_t> a, std::span<const uint64_t> b,
-         std::span<uint64_t> out, std::span<const Modulus> moduli, std::size_t n) {
+         std::span<uint64_t> out, std::span<const Modulus> moduli,
+         std::size_t n) {
     check(a, moduli, n);
     for (std::size_t r = 0; r < moduli.size(); ++r) {
         const Modulus &q = moduli[r];
@@ -21,7 +23,8 @@ void add(std::span<const uint64_t> a, std::span<const uint64_t> b,
 }
 
 void sub(std::span<const uint64_t> a, std::span<const uint64_t> b,
-         std::span<uint64_t> out, std::span<const Modulus> moduli, std::size_t n) {
+         std::span<uint64_t> out, std::span<const Modulus> moduli,
+         std::size_t n) {
     check(a, moduli, n);
     for (std::size_t r = 0; r < moduli.size(); ++r) {
         const Modulus &q = moduli[r];
@@ -43,7 +46,8 @@ void negate(std::span<const uint64_t> a, std::span<uint64_t> out,
 }
 
 void mul(std::span<const uint64_t> a, std::span<const uint64_t> b,
-         std::span<uint64_t> out, std::span<const Modulus> moduli, std::size_t n) {
+         std::span<uint64_t> out, std::span<const Modulus> moduli,
+         std::size_t n) {
     check(a, moduli, n);
     for (std::size_t r = 0; r < moduli.size(); ++r) {
         const Modulus &q = moduli[r];
@@ -54,7 +58,8 @@ void mul(std::span<const uint64_t> a, std::span<const uint64_t> b,
 }
 
 void mad(std::span<const uint64_t> a, std::span<const uint64_t> b,
-         std::span<uint64_t> out, std::span<const Modulus> moduli, std::size_t n) {
+         std::span<uint64_t> out, std::span<const Modulus> moduli,
+         std::size_t n) {
     check(a, moduli, n);
     for (std::size_t r = 0; r < moduli.size(); ++r) {
         const Modulus &q = moduli[r];

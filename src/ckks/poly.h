@@ -62,11 +62,13 @@ using util::Modulus;
 
 /// out = a + b elementwise, one RNS polynomial (rns * n words).
 void add(std::span<const uint64_t> a, std::span<const uint64_t> b,
-         std::span<uint64_t> out, std::span<const Modulus> moduli, std::size_t n);
+         std::span<uint64_t> out, std::span<const Modulus> moduli,
+         std::size_t n);
 
 /// out = a - b.
 void sub(std::span<const uint64_t> a, std::span<const uint64_t> b,
-         std::span<uint64_t> out, std::span<const Modulus> moduli, std::size_t n);
+         std::span<uint64_t> out, std::span<const Modulus> moduli,
+         std::size_t n);
 
 /// out = -a.
 void negate(std::span<const uint64_t> a, std::span<uint64_t> out,
@@ -74,11 +76,13 @@ void negate(std::span<const uint64_t> a, std::span<uint64_t> out,
 
 /// out = a ⊙ b (dyadic product in the NTT domain).
 void mul(std::span<const uint64_t> a, std::span<const uint64_t> b,
-         std::span<uint64_t> out, std::span<const Modulus> moduli, std::size_t n);
+         std::span<uint64_t> out, std::span<const Modulus> moduli,
+         std::size_t n);
 
 /// out += a ⊙ b, using the fused mad_mod.
 void mad(std::span<const uint64_t> a, std::span<const uint64_t> b,
-         std::span<uint64_t> out, std::span<const Modulus> moduli, std::size_t n);
+         std::span<uint64_t> out, std::span<const Modulus> moduli,
+         std::size_t n);
 
 /// out = a * scalar[r] per component.
 void mul_scalar(std::span<const uint64_t> a, std::span<const uint64_t> scalars,

@@ -62,7 +62,8 @@ double radix_reg_bytes(int radix) {
 /// Spill traffic if the footprint exceeds the GRF (the radix-16 regression
 /// of Fig. 13): the excess fraction of the register file round-trips to
 /// global memory once per round group.
-double spill_bytes_per_group(int radix, double items, const xgpu::DeviceSpec &spec) {
+double spill_bytes_per_group(int radix, double items,
+                             const xgpu::DeviceSpec &spec) {
     const double reg_bytes = radix_reg_bytes(radix);
     const double grf = static_cast<double>(spec.grf_bytes_per_thread);
     if (reg_bytes <= grf) {
@@ -123,8 +124,10 @@ public:
                     }
                     const std::size_t idx = base + u * g;
                     const std::size_t i = idx / (2 * big_gap);
-                    util::forward_butterfly(&slice[idx], &slice[idx + big_gap],
-                                            t.root_powers()[m + i], t.modulus());
+                    util::forward_butterfly(&slice[idx],
+                                            &slice[idx + big_gap],
+                                            t.root_powers()[m + i],
+                                            t.modulus());
                 }
             }
         });
@@ -139,7 +142,8 @@ public:
         s.alu_ops = table1_ops_per_item(radix) * static_cast<double>(r.items);
         s.gmem_bytes = 16.0 * radix * static_cast<double>(r.items);
         s.gmem_eff = strided_gmem_eff(radix);
-        s.spill_bytes = spill_bytes_per_group(radix, static_cast<double>(r.items), *spec_);
+        s.spill_bytes = spill_bytes_per_group(
+            radix, static_cast<double>(r.items), *spec_);
         s.work_items = static_cast<double>(r.items);
         s.wg_size = r.local;
         return s;
@@ -226,12 +230,14 @@ public:
             // log2(16*slots) gaps via sub-group shuffles; the rest exchange
             // through SLM.
             const int slots = variant_reg_slots(v);
-            const int simd_rounds = 4 + util::log2_exact(static_cast<uint64_t>(slots));
+            const int simd_rounds =
+                4 + util::log2_exact(static_cast<uint64_t>(slots));
             const int slm_rounds = std::max(0, rounds - simd_rounds);
             s.alu_ops = table1_ops_per_item(2) * (elements / 2.0) * rounds +
                         2.0 * elements;  // fused reduction
             // Multi-slot variants pay extra in-register permutation work.
-            const int in_reg_rounds = util::log2_exact(static_cast<uint64_t>(slots));
+            const int in_reg_rounds =
+                util::log2_exact(static_cast<uint64_t>(slots));
             s.alu_ops += in_reg_rounds * 8.0 * (elements / 2.0);
             s.slm_bytes = 16.0 * elements * slm_rounds + 8.0 * elements;
             // Three inter-item shuffle stages (Fig. 7), `slots` register
@@ -370,7 +376,8 @@ public:
         SlmFwdKernel proxy(data_, tables_, geo_, block_, cfg_, *spec_);
         KernelStats s = proxy.stats();
         s.name = std::string("intt_slm_") + variant_name(cfg_.variant);
-        s.alu_ops -= 2.0 * static_cast<double>(geo_.elements());  // no fused reduce
+        // no fused reduce
+        s.alu_ops -= 2.0 * static_cast<double>(geo_.elements());
         return s;
     }
 
@@ -447,7 +454,8 @@ public:
         s.alu_ops = table1_ops_per_item(static_cast<int>(radix)) * items;
         s.gmem_bytes = 16.0 * static_cast<double>(radix) * items;
         s.gmem_eff = strided_gmem_eff(static_cast<int>(radix));
-        s.spill_bytes = spill_bytes_per_group(static_cast<int>(radix), items, *spec_);
+        s.spill_bytes = spill_bytes_per_group(static_cast<int>(radix), items,
+                                              *spec_);
         s.work_items = items;
         s.wg_size = cfg_.wg_size;
         return s;
@@ -500,7 +508,8 @@ public:
         s.name = "intt_scale_n_inv";
         s.is_ntt = true;
         const double elements = static_cast<double>(geo_.elements());
-        s.alu_ops = (xgpu::core_op_cost(xgpu::CoreOp::MulMod, xgpu::IsaMode::Compiler) +
+        s.alu_ops = (xgpu::core_op_cost(xgpu::CoreOp::MulMod,
+                                        xgpu::IsaMode::Compiler) +
                      2.0) * elements;
         s.gmem_bytes = 16.0 * elements;
         s.gmem_eff = 1.0;
@@ -585,14 +594,16 @@ double table1_butterfly_ops(int radix) {
 
 double GpuNtt::forward(std::span<uint64_t> data, std::size_t polys,
                        std::span<const NttTables> tables) {
-    const Geometry geo = make_geometry(data, polys, tables, queue_->functional());
+    const Geometry geo = make_geometry(data, polys, tables,
+                                       queue_->functional());
     const double t0 = queue_->clock_ns();
     const auto &spec = queue_->spec();
 
     if (cfg_.variant == NttVariant::NaiveRadix2) {
         std::size_t gap = geo.n >> 1;
         for (std::size_t m = 1; m < geo.n; m <<= 1) {
-            queue_->submit(GlobalFwdKernel(data, tables, geo, gap, 1, cfg_, spec));
+            queue_->submit(GlobalFwdKernel(data, tables, geo, gap, 1, cfg_,
+                                           spec));
             gap >>= 1;
         }
         queue_->submit(ReduceKernel(data, tables, geo, cfg_));
@@ -610,7 +621,8 @@ double GpuNtt::forward(std::span<uint64_t> data, std::size_t polys,
         const int sub = head > 0 ? head : std::min(lr, global_rounds);
         head = 0;
         const std::size_t gap_lo = gap >> (sub - 1);
-        queue_->submit(GlobalFwdKernel(data, tables, geo, gap_lo, sub, cfg_, spec));
+        queue_->submit(GlobalFwdKernel(data, tables, geo, gap_lo, sub, cfg_,
+                                       spec));
         gap = gap_lo >> 1;
         global_rounds -= sub;
     }
@@ -620,14 +632,16 @@ double GpuNtt::forward(std::span<uint64_t> data, std::size_t polys,
 
 double GpuNtt::inverse(std::span<uint64_t> data, std::size_t polys,
                        std::span<const NttTables> tables) {
-    const Geometry geo = make_geometry(data, polys, tables, queue_->functional());
+    const Geometry geo = make_geometry(data, polys, tables,
+                                       queue_->functional());
     const double t0 = queue_->clock_ns();
     const auto &spec = queue_->spec();
 
     if (cfg_.variant == NttVariant::NaiveRadix2) {
         std::size_t gap = 1;
         for (std::size_t m = geo.n >> 1; m >= 1; m >>= 1) {
-            queue_->submit(GlobalInvKernel(data, tables, geo, gap, 1, cfg_, spec));
+            queue_->submit(GlobalInvKernel(data, tables, geo, gap, 1, cfg_,
+                                           spec));
             gap <<= 1;
         }
         queue_->submit(InvScaleKernel(data, tables, geo, cfg_));
@@ -642,7 +656,8 @@ double GpuNtt::inverse(std::span<uint64_t> data, std::size_t polys,
     std::size_t gap = block;
     while (global_rounds > 0) {
         const int sub = std::min(lr, global_rounds);
-        queue_->submit(GlobalInvKernel(data, tables, geo, gap, sub, cfg_, spec));
+        queue_->submit(GlobalInvKernel(data, tables, geo, gap, sub, cfg_,
+                                       spec));
         gap <<= sub;
         global_rounds -= sub;
     }

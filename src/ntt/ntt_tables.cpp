@@ -16,13 +16,15 @@ NttTables::NttTables(std::size_t n, const Modulus &q) : n_(n), modulus_(q) {
     root_powers_.resize(n);
     uint64_t power = 1;
     for (std::size_t i = 0; i < n; ++i) {
-        root_powers_[util::reverse_bits(i, log_n_)] = MultiplyModOperand(power, q);
+        root_powers_[util::reverse_bits(i, log_n_)] =
+            MultiplyModOperand(power, q);
         power = util::mul_mod(power, psi_, q);
     }
 
     // Inverse powers, SEAL sequential-consumption layout.
     uint64_t inv_psi = 0;
-    util::require(util::try_invert_mod(psi_, q, &inv_psi), "psi not invertible");
+    util::require(util::try_invert_mod(psi_, q, &inv_psi),
+                  "psi not invertible");
     inv_root_powers_.resize(n);
     uint64_t ipower = inv_psi;
     inv_root_powers_[0] = MultiplyModOperand(1, q);

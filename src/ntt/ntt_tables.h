@@ -43,7 +43,9 @@ public:
     }
 
     /// N^{-1} mod q, applied after the inverse transform.
-    const MultiplyModOperand &inv_degree() const noexcept { return inv_degree_; }
+    const MultiplyModOperand &inv_degree() const noexcept {
+        return inv_degree_;
+    }
 
 private:
     std::size_t n_;

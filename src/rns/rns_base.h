@@ -21,14 +21,18 @@ public:
     explicit RnsBase(std::vector<Modulus> moduli);
 
     std::size_t size() const noexcept { return moduli_.size(); }
-    const Modulus &operator[](std::size_t i) const noexcept { return moduli_[i]; }
+    const Modulus &operator[](std::size_t i) const noexcept {
+        return moduli_[i];
+    }
     const std::vector<Modulus> &moduli() const noexcept { return moduli_; }
 
     /// Q = Π q_i.
     const BigUInt &product() const noexcept { return product_; }
 
     /// Q / q_i.
-    const BigUInt &punctured(std::size_t i) const noexcept { return punctured_[i]; }
+    const BigUInt &punctured(std::size_t i) const noexcept {
+        return punctured_[i];
+    }
 
     /// (Q / q_i)^{-1} mod q_i.
     const MultiplyModOperand &inv_punctured(std::size_t i) const noexcept {
@@ -59,7 +63,8 @@ public:
     std::size_t in_size() const noexcept { return in_->size(); }
     std::size_t out_size() const noexcept { return out_.size(); }
 
-    /// Converts one residue vector (size in_size) to base `out` (size out_size).
+    /// Converts one residue vector (size in_size) to base `out` (size
+    /// out_size).
     void convert(std::span<const uint64_t> in, std::span<uint64_t> out) const;
 
 private:

@@ -79,7 +79,8 @@ BigUInt BigUInt::mul(const BigUInt &other) const {
             const Uint128 p = mul_uint64_wide(words_[i], other.words_[j]);
             // Accumulate p + carry into result[i + j .. i + j + 1].
             unsigned c1 = 0, c2 = 0, c3 = 0;
-            const uint64_t lo = add_uint64_carry(result.words_[i + j], p.lo, 0, &c1);
+            const uint64_t lo = add_uint64_carry(result.words_[i + j], p.lo, 0,
+                                                 &c1);
             const uint64_t lo2 = add_uint64_carry(lo, carry, 0, &c2);
             result.words_[i + j] = lo2;
             const uint64_t hi = add_uint64_carry(result.words_[i + j + 1], p.hi,
@@ -137,7 +138,8 @@ uint64_t BigUInt::mod_word(const Modulus &q) const noexcept {
 double BigUInt::to_double() const noexcept {
     double result = 0.0;
     for (size_t i = words_.size(); i-- > 0;) {
-        result = result * 18446744073709551616.0 + static_cast<double>(words_[i]);
+        result =
+            result * 18446744073709551616.0 + static_cast<double>(words_[i]);
     }
     return result;
 }

@@ -22,7 +22,9 @@ public:
     static BigUInt from_words(std::vector<uint64_t> words);
 
     size_t word_count() const noexcept { return words_.size(); }
-    uint64_t word(size_t i) const noexcept { return i < words_.size() ? words_[i] : 0; }
+    uint64_t word(size_t i) const noexcept {
+        return i < words_.size() ? words_[i] : 0;
+    }
     const std::vector<uint64_t> &words() const noexcept { return words_; }
 
     bool is_zero() const noexcept;

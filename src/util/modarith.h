@@ -69,7 +69,8 @@ inline uint64_t mul_mod(uint64_t a, uint64_t b, const Modulus &q) noexcept {
 ///
 /// Safe whenever a, b < 2^62 and c < 2^62: the 128-bit accumulator cannot
 /// overflow because a*b < 2^124.
-inline uint64_t mad_mod(uint64_t a, uint64_t b, uint64_t c, const Modulus &q) noexcept {
+inline uint64_t mad_mod(uint64_t a, uint64_t b, uint64_t c,
+                        const Modulus &q) noexcept {
     Uint128 acc = mul_uint64_wide(a, b);
     acc = add_uint128(acc, Uint128{c, 0});
     return barrett_reduce_128(acc, q);
@@ -90,7 +91,8 @@ inline uint64_t pow_mod(uint64_t a, uint64_t e, const Modulus &q) noexcept {
 }
 
 /// Modular inverse via Fermat (q prime).  Returns false if a == 0 mod q.
-inline bool try_invert_mod(uint64_t a, const Modulus &q, uint64_t *result) noexcept {
+inline bool try_invert_mod(uint64_t a, const Modulus &q,
+                           uint64_t *result) noexcept {
     a = barrett_reduce_64(a, q);
     if (a == 0) {
         return false;

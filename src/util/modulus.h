@@ -12,7 +12,8 @@ namespace xehe::util {
 
 class Modulus {
 public:
-    /// Maximum supported modulus bit count (Harvey lazy reduction needs p < 2^62).
+    /// Maximum supported modulus bit count (Harvey lazy reduction needs p <
+    /// 2^62).
     static constexpr int kMaxBits = 61;
 
     Modulus() = default;

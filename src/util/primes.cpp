@@ -48,8 +48,8 @@ bool is_prime(uint64_t value) {
     if (value < 2) {
         return false;
     }
-    for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
-                       29ull, 31ull, 37ull}) {
+    for (uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                       23ull, 29ull, 31ull, 37ull}) {
         if (value == p) {
             return true;
         }
@@ -65,8 +65,8 @@ bool is_prime(uint64_t value) {
         ++r;
     }
     // These bases are a deterministic certificate for all 64-bit integers.
-    for (uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull, 23ull,
-                       29ull, 31ull, 37ull}) {
+    for (uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull, 19ull,
+                       23ull, 29ull, 31ull, 37ull}) {
         if (witness_composite(a, d, r, value)) {
             return false;
         }
@@ -74,8 +74,10 @@ bool is_prime(uint64_t value) {
     return true;
 }
 
-std::vector<Modulus> generate_ntt_primes(int bit_size, size_t ntt_size, size_t count) {
-    require(bit_size >= 10 && bit_size <= Modulus::kMaxBits, "bit_size out of range");
+std::vector<Modulus> generate_ntt_primes(int bit_size, size_t ntt_size,
+                                         size_t count) {
+    require(bit_size >= 10 && bit_size <= Modulus::kMaxBits,
+            "bit_size out of range");
     require(is_power_of_two(ntt_size), "ntt_size must be a power of two");
     const uint64_t factor = 2 * static_cast<uint64_t>(ntt_size);
     std::vector<Modulus> result;
@@ -92,7 +94,8 @@ std::vector<Modulus> generate_ntt_primes(int bit_size, size_t ntt_size, size_t c
     return result;
 }
 
-std::vector<Modulus> default_coeff_modulus(size_t ntt_size, size_t count, int bit_size) {
+std::vector<Modulus> default_coeff_modulus(size_t ntt_size, size_t count,
+                                           int bit_size) {
     return generate_ntt_primes(bit_size, ntt_size, count);
 }
 
@@ -109,7 +112,8 @@ bool try_primitive_root(uint64_t group_size, const Modulus &q, uint64_t *root) {
         seed ^= seed << 13;
         seed ^= seed >> 7;
         seed ^= seed << 17;
-        const uint64_t candidate = pow_mod(barrett_reduce_64(seed, q) | 1, quotient, q);
+        const uint64_t candidate = pow_mod(barrett_reduce_64(seed, q) | 1,
+                                           quotient, q);
         // candidate has order dividing group_size; check it is exactly
         // group_size by ensuring candidate^(group_size/2) == -1.
         if (group_size == 1) {
@@ -124,7 +128,8 @@ bool try_primitive_root(uint64_t group_size, const Modulus &q, uint64_t *root) {
     return false;
 }
 
-bool try_minimal_primitive_root(uint64_t group_size, const Modulus &q, uint64_t *root) {
+bool try_minimal_primitive_root(uint64_t group_size, const Modulus &q,
+                                uint64_t *root) {
     uint64_t r = 0;
     if (!try_primitive_root(group_size, q, &r)) {
         return false;

@@ -18,7 +18,8 @@ struct Uint128 {
     uint64_t lo = 0;
     uint64_t hi = 0;
 
-    constexpr friend bool operator==(const Uint128 &a, const Uint128 &b) = default;
+    constexpr friend bool operator==(const Uint128 &a,
+                                     const Uint128 &b) = default;
 };
 
 /// Full 128-bit product of two 64-bit operands.

@@ -27,7 +27,8 @@ struct GpuCiphertext {
     std::span<uint64_t> component(std::size_t p, std::size_t r) noexcept {
         return data.span().subspan((p * rns + r) * n, n);
     }
-    std::span<const uint64_t> component(std::size_t p, std::size_t r) const noexcept {
+    std::span<const uint64_t> component(std::size_t p,
+                                        std::size_t r) const noexcept {
         return data.span().subspan((p * rns + r) * n, n);
     }
 };

@@ -26,15 +26,30 @@ ntt::NttConfig make_ntt_config(const GpuOptions &options) {
 GpuContext::GpuContext(const ckks::CkksContext &host, xgpu::DeviceSpec spec,
                        GpuOptions options)
     : host_(&host), options_(options),
-      queue_(std::move(spec),
-             xgpu::ExecConfig{options.tiles, options.isa, true}),
-      gpu_ntt_(queue_, make_ntt_config(options)) {
-    queue_.cache().set_enabled(options_.use_memory_cache);
+      owned_queue_(std::make_unique<xgpu::Queue>(
+          std::move(spec), xgpu::ExecConfig{options.tiles, options.isa, true})),
+      queue_(owned_queue_.get()),
+      gpu_ntt_(*queue_, make_ntt_config(options)) {
+    queue_->cache().set_enabled(options_.use_memory_cache);
+    upload_tables();
+}
+
+GpuContext::GpuContext(const ckks::CkksContext &host, xgpu::Queue &queue,
+                       GpuOptions options)
+    : host_(&host), options_(options), queue_(&queue),
+      gpu_ntt_(*queue_, make_ntt_config(options)) {
+    // The cache policy of a shared queue belongs to its owner; see the
+    // header note on this constructor.
+    upload_tables();
+}
+
+void GpuContext::upload_tables() {
     // Session-invariant data (moduli, root powers) is uploaded once at
-    // context creation (Fig. 1's "session invariant data" arrow).
+    // context creation (Fig. 1's "session invariant data" arrow); with
+    // per-tile queues every tile holds its own copy of the tables.
     const std::size_t table_bytes =
-        host.key_rns() * host.n() * 2 * sizeof(uint64_t) * 2;
-    queue_.transfer(table_bytes);
+        host_->key_rns() * host_->n() * 2 * sizeof(uint64_t) * 2;
+    queue_->transfer(table_bytes);
 }
 
 }  // namespace xehe::core

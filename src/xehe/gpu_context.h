@@ -4,6 +4,8 @@
 // pipeline) so every experiment toggles exactly one knob.
 #pragma once
 
+#include <memory>
+
 #include "ckks/evaluator.h"
 #include "ntt/ntt_gpu.h"
 
@@ -29,37 +31,50 @@ public:
     GpuContext(const ckks::CkksContext &host, xgpu::DeviceSpec spec,
                GpuOptions options = {});
 
+    /// Binds to an external (typically scheduler-owned, per-tile) queue
+    /// instead of creating one: the evaluator-pool path, where several
+    /// contexts over the same host scheme drive different tiles of one
+    /// device.  `options.tiles` / `options.isa` / `options.use_memory_cache`
+    /// do not reconfigure the queue — its ExecConfig and cache policy were
+    /// fixed by its owner (a shared queue must not be silently flipped by
+    /// one of its users).
+    GpuContext(const ckks::CkksContext &host, xgpu::Queue &queue,
+               GpuOptions options = {});
+
     const ckks::CkksContext &host() const noexcept { return *host_; }
-    xgpu::Queue &queue() noexcept { return queue_; }
+    xgpu::Queue &queue() noexcept { return *queue_; }
     const GpuOptions &options() const noexcept { return options_; }
     ntt::GpuNtt &gpu_ntt() noexcept { return gpu_ntt_; }
 
     /// Per-kernel-class simulated time, including the NTT / non-NTT split
     /// used by Figures 5, 16 and 18.
-    xgpu::Profiler &profiler() noexcept { return queue_.profiler(); }
+    xgpu::Profiler &profiler() noexcept { return queue_->profiler(); }
 
     /// When false, kernels are costed but not executed (big sweeps).
-    void set_functional(bool functional) { queue_.set_functional(functional); }
+    void set_functional(bool functional) { queue_->set_functional(functional); }
 
     /// Charges a host synchronization if the pipeline is synchronous.
     void maybe_sync() {
         if (!options_.async) {
-            queue_.wait();
+            queue_->wait();
         }
     }
 
     /// Allocates device memory through the (optionally disabled) cache and
     /// charges the allocation time to the timeline.
     xgpu::DeviceBuffer allocate(std::size_t words) {
-        auto buffer = queue_.cache().allocate(words);
-        queue_.charge_alloc_time();
+        auto buffer = queue_->cache().allocate(words);
+        queue_->charge_alloc_time();
         return buffer;
     }
 
 private:
+    void upload_tables();
+
     const ckks::CkksContext *host_;
     GpuOptions options_;
-    xgpu::Queue queue_;
+    std::unique_ptr<xgpu::Queue> owned_queue_;  ///< null when bound externally
+    xgpu::Queue *queue_;
     ntt::GpuNtt gpu_ntt_;
 };
 

@@ -28,9 +28,11 @@ void GpuEvaluator::submit_dyadic(const char *name, std::size_t elements,
     gpu_->queue().submit(kernel);
 }
 
-GpuCiphertext GpuEvaluator::add(const GpuCiphertext &a, const GpuCiphertext &b) {
+GpuCiphertext GpuEvaluator::add(const GpuCiphertext &a,
+                                const GpuCiphertext &b) {
     util::require(a.rns == b.rns && a.size == b.size, "add: shape mismatch");
-    util::require(std::abs(a.scale / b.scale - 1.0) < 1e-6, "add: scale mismatch");
+    util::require(std::abs(a.scale / b.scale - 1.0) < 1e-6,
+                  "add: scale mismatch");
     GpuCiphertext out = allocate_ciphertext(*gpu_, a.size, a.rns, a.scale);
     const std::size_t n = a.n;
     const auto sa = a.all(), sb = b.all();
@@ -59,9 +61,11 @@ void GpuEvaluator::add_inplace(GpuCiphertext &a, const GpuCiphertext &b) {
     gpu_->maybe_sync();
 }
 
-GpuCiphertext GpuEvaluator::sub(const GpuCiphertext &a, const GpuCiphertext &b) {
+GpuCiphertext GpuEvaluator::sub(const GpuCiphertext &a,
+                                const GpuCiphertext &b) {
     util::require(a.rns == b.rns && a.size == b.size, "sub: shape mismatch");
-    util::require(std::abs(a.scale / b.scale - 1.0) < 1e-6, "sub: scale mismatch");
+    util::require(std::abs(a.scale / b.scale - 1.0) < 1e-6,
+                  "sub: scale mismatch");
     GpuCiphertext out = allocate_ciphertext(*gpu_, a.size, a.rns, a.scale);
     const std::size_t n = a.n;
     const std::size_t per_poly = a.rns * n;
@@ -84,7 +88,8 @@ GpuCiphertext GpuEvaluator::negate(const GpuCiphertext &a) {
     auto so = out.all();
     submit_dyadic("he_negate", a.size * per_poly, 2.0, 2.0,
                   [=, this](std::size_t i) {
-                      so[i] = util::negate_mod(sa[i], modulus_at(i % per_poly, n));
+                      so[i] = util::negate_mod(sa[i], modulus_at(i % per_poly,
+                                                                 n));
                   });
     gpu_->maybe_sync();
     return out;
@@ -101,7 +106,8 @@ GpuCiphertext GpuEvaluator::add_plain(const GpuCiphertext &a,
     const auto sa = a.all();
     const std::span<const uint64_t> sp(p.data);
     auto so = out.all();
-    submit_dyadic("he_add_plain", a.size * per_poly, op_cost(CoreOp::AddMod), 3.0,
+    submit_dyadic("he_add_plain", a.size * per_poly, op_cost(CoreOp::AddMod),
+                  3.0,
                   [=, this](std::size_t i) {
                       const Modulus &q = modulus_at(i % per_poly, n);
                       // The plaintext is added only into c0.
@@ -114,7 +120,8 @@ GpuCiphertext GpuEvaluator::add_plain(const GpuCiphertext &a,
 
 GpuCiphertext GpuEvaluator::multiply_plain(const GpuCiphertext &a,
                                            const ckks::Plaintext &p) {
-    util::require(a.rns == p.rns && a.n == p.n, "multiply_plain: level mismatch");
+    util::require(a.rns == p.rns && a.n == p.n,
+                  "multiply_plain: level mismatch");
     GpuCiphertext out =
         allocate_ciphertext(*gpu_, a.size, a.rns, a.scale * p.scale);
     const std::size_t n = a.n;
@@ -122,7 +129,8 @@ GpuCiphertext GpuEvaluator::multiply_plain(const GpuCiphertext &a,
     const auto sa = a.all();
     const std::span<const uint64_t> sp(p.data);
     auto so = out.all();
-    submit_dyadic("he_mul_plain", a.size * per_poly, op_cost(CoreOp::MulMod), 3.0,
+    submit_dyadic("he_mul_plain", a.size * per_poly, op_cost(CoreOp::MulMod),
+                  3.0,
                   [=, this](std::size_t i) {
                       const Modulus &q = modulus_at(i % per_poly, n);
                       so[i] = util::mul_mod(sa[i], sp[i % per_poly], q);
@@ -157,11 +165,13 @@ GpuCiphertext GpuEvaluator::multiply(const GpuCiphertext &a,
                       });
     } else {
         submit_dyadic("he_mul_d1", count,
-                      2 * op_cost(CoreOp::MulMod) + op_cost(CoreOp::AddMod), 5.0,
+                      2 * op_cost(CoreOp::MulMod) + op_cost(CoreOp::AddMod),
+                      5.0,
                       [=, this](std::size_t i) {
                           const Modulus &q = modulus_at(i, n);
                           const uint64_t t = util::mul_mod(a0[i], b1[i], q);
-                          d1[i] = util::add_mod(util::mul_mod(a1[i], b0[i], q), t, q);
+                          d1[i] = util::add_mod(util::mul_mod(a1[i], b0[i], q),
+                                                t, q);
                       });
     }
     submit_dyadic("he_mul_d2", count, op_cost(CoreOp::MulMod), 3.0,
@@ -195,7 +205,8 @@ GpuCiphertext GpuEvaluator::square(const GpuCiphertext &a) {
 void GpuEvaluator::multiply_acc(const GpuCiphertext &a, const GpuCiphertext &b,
                                 GpuCiphertext &acc) {
     util::require(a.size == 2 && b.size == 2 && acc.size == 3,
-                  "multiply_acc expects size-2 inputs and a size-3 accumulator");
+                  "multiply_acc expects size-2 inputs and a size-3 "
+                  "accumulator");
     util::require(a.rns == b.rns && a.rns == acc.rns, "level mismatch");
     const std::size_t n = a.n;
     const std::size_t count = a.rns * n;
@@ -207,11 +218,13 @@ void GpuEvaluator::multiply_acc(const GpuCiphertext &a, const GpuCiphertext &b,
     if (gpu_->options().fuse_mad_mod) {
         // One fused pass: every output uses mad_mod (one reduction per
         // multiply-add pair, Section III-A1).
-        submit_dyadic("he_mul_acc_fused", count, 4 * op_cost(CoreOp::MadMod), 9.0,
+        submit_dyadic("he_mul_acc_fused", count, 4 * op_cost(CoreOp::MadMod),
+                      9.0,
                       [=, this](std::size_t i) {
                           const Modulus &q = modulus_at(i, n);
                           d0[i] = util::mad_mod(a0[i], b0[i], d0[i], q);
-                          const uint64_t t = util::mad_mod(a0[i], b1[i], d1[i], q);
+                          const uint64_t t = util::mad_mod(a0[i], b1[i], d1[i],
+                                                           q);
                           d1[i] = util::mad_mod(a1[i], b0[i], t, q);
                           d2[i] = util::mad_mod(a1[i], b1[i], d2[i], q);
                       });
@@ -267,7 +280,8 @@ void GpuEvaluator::switch_key_inplace(GpuCiphertext &dest,
                               const std::size_t comp = i / n;
                               dst[i] = comp == mod_idx
                                            ? src[i]
-                                           : util::barrett_reduce_64(src[i], mj);
+                                           : util::barrett_reduce_64(src[i],
+                                                                     mj);
                           });
         }
         gpu_->gpu_ntt().forward(digits.span(), l, table_span(mod_idx));
@@ -327,7 +341,8 @@ void GpuEvaluator::switch_key_inplace(GpuCiphertext &dest,
                           op_cost(CoreOp::SubMod) + op_cost(CoreOp::MulMod) +
                               op_cost(CoreOp::AddMod),
                           4.0, [=](std::size_t k) {
-                              const uint64_t diff = util::sub_mod(aj[k], t[k], qj);
+                              const uint64_t diff = util::sub_mod(aj[k], t[k],
+                                                                  qj);
                               dst[k] = util::add_mod(
                                   dst[k], util::mul_mod(diff, inv_p, qj), qj);
                           });
@@ -357,7 +372,8 @@ GpuCiphertext GpuEvaluator::rescale(const GpuCiphertext &a) {
     const uint64_t half = ctx_->half(last);
 
     GpuCiphertext out = allocate_ciphertext(
-        *gpu_, a.size, a.rns - 1, a.scale / static_cast<double>(q_last.value()));
+        *gpu_, a.size, a.rns - 1,
+        a.scale / static_cast<double>(q_last.value()));
     auto last_coeff = gpu_->allocate(n);
     auto t_buf = gpu_->allocate(n);
     for (std::size_t poly_i = 0; poly_i < a.size; ++poly_i) {
@@ -385,7 +401,8 @@ GpuCiphertext GpuEvaluator::rescale(const GpuCiphertext &a) {
             auto dst = out.component(poly_i, j);
             const auto inv_q = ctx_->inv_mod(last, j);
             submit_dyadic("rs_divide", n,
-                          op_cost(CoreOp::SubMod) + op_cost(CoreOp::MulMod), 3.0,
+                          op_cost(CoreOp::SubMod) + op_cost(CoreOp::MulMod),
+                          3.0,
                           [=](std::size_t k) {
                               dst[k] = util::mul_mod(
                                   util::sub_mod(src[k], t[k], qj), inv_q, qj);
@@ -450,7 +467,8 @@ GpuCiphertext GpuEvaluator::rotate(const GpuCiphertext &a, int step,
     return out;
 }
 
-GpuCiphertext GpuEvaluator::mul_lin(const GpuCiphertext &a, const GpuCiphertext &b,
+GpuCiphertext GpuEvaluator::mul_lin(const GpuCiphertext &a,
+                                    const GpuCiphertext &b,
                                     const RelinKeys &keys) {
     return relinearize(multiply(a, b), keys);
 }

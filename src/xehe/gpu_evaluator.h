@@ -32,7 +32,8 @@ public:
     /// c0 += encoded plaintext (same level and scale).
     GpuCiphertext add_plain(const GpuCiphertext &a, const ckks::Plaintext &p);
     /// Dyadic product with an encoded plaintext; scale multiplies.
-    GpuCiphertext multiply_plain(const GpuCiphertext &a, const ckks::Plaintext &p);
+    GpuCiphertext multiply_plain(const GpuCiphertext &a,
+                                 const ckks::Plaintext &p);
     GpuCiphertext multiply(const GpuCiphertext &a, const GpuCiphertext &b);
     GpuCiphertext square(const GpuCiphertext &a);
     /// acc (size 3) += a * b — the matmul inner loop, one fused kernel pass
@@ -42,7 +43,8 @@ public:
     GpuCiphertext relinearize(const GpuCiphertext &a, const RelinKeys &keys);
     GpuCiphertext rescale(const GpuCiphertext &a);
     GpuCiphertext mod_switch(const GpuCiphertext &a);
-    GpuCiphertext rotate(const GpuCiphertext &a, int step, const GaloisKeys &keys);
+    GpuCiphertext rotate(const GpuCiphertext &a, int step,
+                         const GaloisKeys &keys);
 
     // --- the five benchmarked routines (Section IV-C) -------------------
     GpuCiphertext mul_lin(const GpuCiphertext &a, const GpuCiphertext &b,
@@ -57,7 +59,8 @@ public:
 
 private:
     /// Adds the key-switched expansion of `target` into dest.poly(0/1).
-    void switch_key_inplace(GpuCiphertext &dest, std::span<const uint64_t> target,
+    void switch_key_inplace(GpuCiphertext &dest,
+                            std::span<const uint64_t> target,
                             const KSwitchKey &key);
 
     /// Submits an elementwise kernel over `elements` indices with

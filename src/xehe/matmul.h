@@ -26,14 +26,23 @@ struct MatmulConfig {
     bool functional = true;
     /// Number of result elements to decrypt and verify (functional mode).
     std::size_t verify_samples = 3;
+    /// Queue fan-out: 1 = the legacy single in-order queue; 0 = one queue
+    /// per device tile; > 1 = explicit lane count (clamped to the device's
+    /// tile count).  With several queues
+    /// the inputs are uploaded once and broadcast through a cross-queue
+    /// event, and output tiles are round-robined across lanes — each
+    /// tile's accumulation chain stays in-order on its lane.
+    int queues = 1;
     uint64_t seed = 1234;
 };
 
 struct MatmulReport {
-    double sim_total_ms = 0.0;     ///< end-to-end simulated time
+    double sim_total_ms = 0.0;     ///< end-to-end simulated time (makespan)
+    double sim_busy_ms = 0.0;      ///< summed per-queue busy time
     double sim_alloc_ms = 0.0;     ///< simulated allocation time charged
     double sim_kernel_ms = 0.0;    ///< simulated kernel time
     std::size_t products = 0;      ///< element multiplications performed
+    std::size_t queues = 1;        ///< lanes the run was scheduled onto
     xgpu::MemoryCache::Stats alloc;
     double max_error = 0.0;        ///< decrypted-vs-plain error (functional)
 };

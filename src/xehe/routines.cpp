@@ -17,7 +17,31 @@ const char *routine_name(Routine r) {
     return "unknown";
 }
 
-RoutineBench::RoutineBench(const ckks::CkksContext &host, xgpu::DeviceSpec device,
+void run_routine(GpuEvaluator &evaluator, Routine routine,
+                 const GpuCiphertext &a, const GpuCiphertext &b,
+                 const GpuCiphertext &c, const ckks::RelinKeys &relin,
+                 const ckks::GaloisKeys &galois) {
+    switch (routine) {
+        case Routine::MulLin:
+            evaluator.mul_lin(a, b, relin);
+            break;
+        case Routine::MulLinRS:
+            evaluator.mul_lin_rs(a, b, relin);
+            break;
+        case Routine::SqrLinRS:
+            evaluator.sqr_lin_rs(a, relin);
+            break;
+        case Routine::MulLinRSModSwAdd:
+            evaluator.mul_lin_rs_modsw_add(a, b, c, relin);
+            break;
+        case Routine::Rotate:
+            evaluator.rotate(a, 1, galois);
+            break;
+    }
+}
+
+RoutineBench::RoutineBench(const ckks::CkksContext &host,
+                           xgpu::DeviceSpec device,
                            GpuOptions options, bool functional, uint64_t seed)
     : host_(&host), gpu_(host, std::move(device), options), evaluator_(gpu_),
       functional_(functional), keygen_(host, seed) {
@@ -53,27 +77,13 @@ RoutineProfile RoutineBench::run(Routine routine) {
     const double ntt0 = profiler.ntt_ns();
     const double total0 = profiler.total_ns();
 
-    switch (routine) {
-        case Routine::MulLin:
-            evaluator_.mul_lin(input_a_, input_b_, relin_);
-            break;
-        case Routine::MulLinRS:
-            evaluator_.mul_lin_rs(input_a_, input_b_, relin_);
-            break;
-        case Routine::SqrLinRS:
-            evaluator_.sqr_lin_rs(input_a_, relin_);
-            break;
-        case Routine::MulLinRSModSwAdd:
-            evaluator_.mul_lin_rs_modsw_add(input_a_, input_b_, input_c_, relin_);
-            break;
-        case Routine::Rotate:
-            evaluator_.rotate(input_a_, 1, galois_);
-            break;
-    }
+    run_routine(evaluator_, routine, input_a_, input_b_, input_c_, relin_,
+                galois_);
 
     RoutineProfile profile;
     profile.ntt_ms = (profiler.ntt_ns() - ntt0) * 1e-6;
-    profile.other_ms = (profiler.total_ns() - total0 - (profiler.ntt_ns() - ntt0)) * 1e-6;
+    profile.other_ms =
+        (profiler.total_ns() - total0 - (profiler.ntt_ns() - ntt0)) * 1e-6;
     return profile;
 }
 

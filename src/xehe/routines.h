@@ -16,6 +16,14 @@ inline constexpr Routine kAllRoutines[] = {
 
 const char *routine_name(Routine r);
 
+/// Runs one Section IV-C routine through `evaluator` on the given inputs.
+/// Shared by RoutineBench and the batched evaluator pool; the result is
+/// discarded (the paper benchmarks the kernels, not the outputs).
+void run_routine(GpuEvaluator &evaluator, Routine routine,
+                 const GpuCiphertext &a, const GpuCiphertext &b,
+                 const GpuCiphertext &c, const ckks::RelinKeys &relin,
+                 const ckks::GaloisKeys &galois);
+
 struct RoutineProfile {
     double ntt_ms = 0.0;
     double other_ms = 0.0;

@@ -35,14 +35,17 @@ public:
     uint64_t *data() noexcept { return storage_.data(); }
     const uint64_t *data() const noexcept { return storage_.data(); }
     std::span<uint64_t> span() noexcept { return {storage_.data(), size_}; }
-    std::span<const uint64_t> span() const noexcept { return {storage_.data(), size_}; }
+    std::span<const uint64_t> span() const noexcept {
+        return {storage_.data(), size_};
+    }
 
     uint64_t &operator[](std::size_t i) noexcept { return storage_[i]; }
     uint64_t operator[](std::size_t i) const noexcept { return storage_[i]; }
 
 private:
     friend class MemoryCache;
-    DeviceBuffer(std::vector<uint64_t> storage, std::size_t size, MemoryCache *cache)
+    DeviceBuffer(std::vector<uint64_t> storage, std::size_t size,
+                 MemoryCache *cache)
         : storage_(std::move(storage)), size_(size), cache_(cache) {}
 
     std::vector<uint64_t> storage_;
@@ -61,7 +64,8 @@ public:
         double sim_alloc_ns = 0.0;      ///< simulated allocation time charged
     };
 
-    explicit MemoryCache(DeviceSpec spec = DeviceSpec{}) : spec_(std::move(spec)) {}
+    explicit MemoryCache(DeviceSpec spec = DeviceSpec{})
+        : spec_(std::move(spec)) {}
 
     /// Enables or disables recycling (paper baseline has it off).
     void set_enabled(bool enabled) noexcept { enabled_ = enabled; }

@@ -21,7 +21,8 @@ double core_op_cost(CoreOp op, IsaMode mode) noexcept {
             // One 128-bit accumulate folded before a single reduction.
             return core_op_cost(CoreOp::MulMod, mode) + 2.0;
         case CoreOp::MulModAddMod:
-            return core_op_cost(CoreOp::MulMod, mode) + core_op_cost(CoreOp::AddMod, mode);
+            return core_op_cost(CoreOp::MulMod, mode) +
+                   core_op_cost(CoreOp::AddMod, mode);
     }
     return 0.0;
 }
@@ -57,7 +58,8 @@ double CostModel::occupancy(double work_items, int tiles_used) const noexcept {
     return std::pow(ratio, spec_.occupancy_exponent);
 }
 
-double CostModel::kernel_time_ns(const KernelStats &stats, const ExecConfig &cfg) const {
+double CostModel::kernel_time_ns(const KernelStats &stats,
+                                 const ExecConfig &cfg) const {
     const int tiles = std::max(1, std::min(cfg.tiles, spec_.tiles));
     // Occupancy is evaluated against single-tile saturation: explicit
     // multi-queue submission splits the batch, and each tile's latency
@@ -72,7 +74,8 @@ double CostModel::kernel_time_ns(const KernelStats &stats, const ExecConfig &cfg
 
     const double asm_factor =
         cfg.isa == IsaMode::InlineAsm
-            ? (stats.asm_sensitive * spec_.asm_alu_factor + (1.0 - stats.asm_sensitive))
+            ? (stats.asm_sensitive * spec_.asm_alu_factor +
+               (1.0 - stats.asm_sensitive))
             : 1.0;
 
     const double alu_rate =
@@ -92,21 +95,19 @@ double CostModel::kernel_time_ns(const KernelStats &stats, const ExecConfig &cfg
         t = std::max(t, gmem_traffic / gmem_rate);
     }
     if (stats.slm_bytes > 0.0 && stats.slm_eff > 0.0) {
-        const double eff = std::min(1.0, stats.slm_eff * spec_.slm_exchange_scale);
+        const double eff = std::min(1.0,
+                                    stats.slm_eff * spec_.slm_exchange_scale);
         t = std::max(t, stats.slm_bytes / (slm_rate * eff));
     }
     if (stats.shuffle_ops > 0.0) {
         t = std::max(t, stats.shuffle_ops / shuffle_rate);
     }
 
-    double time_ns = t * 1e9;
-    if (cfg.charge_launch_overhead) {
-        time_ns += spec_.kernel_launch_overhead_ns;
-    }
-    return time_ns;
+    return t * 1e9 + launch_overhead_ns(cfg);
 }
 
-double CostModel::efficiency(const KernelStats &stats, double time_ns) const noexcept {
+double CostModel::efficiency(const KernelStats &stats,
+                             double time_ns) const noexcept {
     if (time_ns <= 0.0) {
         return 0.0;
     }

@@ -15,6 +15,7 @@ DeviceSpec device1() {
     spec.alu_efficiency = 0.36;
     spec.asm_alu_factor = 0.725;
     spec.multi_tile_efficiency = 0.80;
+    spec.cross_queue_sync_ns = 2500.0;   // tile-to-tile event propagation
     return spec;
 }
 

@@ -66,14 +66,22 @@ struct DeviceSpec {
     // --- overheads ----------------------------------------------------
     double kernel_launch_overhead_ns = 5000.0;   ///< per-submission cost
     double host_sync_overhead_ns = 40000.0;       ///< blocking wait cost
+    /// Cost of a cross-queue event wait that actually stalls the waiting
+    /// queue (event propagation between tiles; timeline-only, never
+    /// profiled as kernel time).
+    double cross_queue_sync_ns = 2000.0;
     double malloc_overhead_ns = 100000.0;          ///< runtime device malloc
     double cached_malloc_overhead_ns = 200.0;     ///< memory-cache hit
     /// Multi-queue scaling efficiency when driving several tiles.
     double multi_tile_efficiency = 0.80;
 
     // --- derived ------------------------------------------------------
-    int eus_per_tile() const noexcept { return subslices_per_tile * eus_per_subslice; }
-    int total_eus(int tiles_used) const noexcept { return eus_per_tile() * tiles_used; }
+    int eus_per_tile() const noexcept {
+        return subslices_per_tile * eus_per_subslice;
+    }
+    int total_eus(int tiles_used) const noexcept {
+        return eus_per_tile() * tiles_used;
+    }
 
     /// Resident SIMD threads (latency-hiding slots) on `tiles_used` tiles.
     double resident_threads(int tiles_used) const noexcept {
@@ -82,7 +90,8 @@ struct DeviceSpec {
 
     /// Peak int64 ops per second on `tiles_used` tiles.
     double peak_int64_ops(int tiles_used) const noexcept {
-        return total_eus(tiles_used) * int64_ops_per_cycle_per_eu * freq_ghz * 1e9;
+        return total_eus(tiles_used) * int64_ops_per_cycle_per_eu *
+               freq_ghz * 1e9;
     }
 
     /// Peak global-memory bandwidth in bytes/s on `tiles_used` tiles.
@@ -92,13 +101,14 @@ struct DeviceSpec {
 
     /// Peak SLM bandwidth in bytes/s on `tiles_used` tiles.
     double slm_bandwidth(int tiles_used) const noexcept {
-        return slm_bytes_per_cycle_per_subslice * subslices_per_tile * tiles_used *
-               freq_ghz * 1e9;
+        return slm_bytes_per_cycle_per_subslice * subslices_per_tile *
+               tiles_used * freq_ghz * 1e9;
     }
 
     /// Peak sub-group shuffle rate (lane exchanges per second).
     double shuffle_rate(int tiles_used) const noexcept {
-        return total_eus(tiles_used) * shuffle_lanes_per_cycle_per_eu * freq_ghz * 1e9;
+        return total_eus(tiles_used) * shuffle_lanes_per_cycle_per_eu *
+               freq_ghz * 1e9;
     }
 };
 

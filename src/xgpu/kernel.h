@@ -25,14 +25,17 @@ struct NdRange {
     std::size_t work_groups = 0;
     std::size_t local_size = 0;
 
-    std::size_t global_size() const noexcept { return work_groups * local_size; }
+    std::size_t global_size() const noexcept {
+        return work_groups * local_size;
+    }
 };
 
 /// Per-work-group execution context: group id, local size, and an SLM
 /// scratch area private to the group.
 class WorkGroup {
 public:
-    WorkGroup(std::size_t group_id, std::size_t local_size, std::size_t slm_words)
+    WorkGroup(std::size_t group_id, std::size_t local_size,
+              std::size_t slm_words)
         : group_id_(group_id), local_size_(local_size), slm_(slm_words, 0) {}
 
     std::size_t group_id() const noexcept { return group_id_; }

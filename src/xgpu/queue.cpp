@@ -18,6 +18,27 @@ double Queue::submit(const Kernel &kernel) {
     return time_ns;
 }
 
+Event Queue::submit(const Kernel &kernel, std::span<const Event> deps) {
+    for (const Event &dep : deps) {
+        wait_for(dep);
+    }
+    submit(kernel);
+    return record_event();
+}
+
+void Queue::wait_for(const Event &ev) {
+    if (!ev.valid() || ev.source == this) {
+        // Same-queue dependencies are free: the queue is in-order, so the
+        // producer has already advanced this clock past ev.ready_ns.
+        return;
+    }
+    if (ev.ready_ns > clock_ns_) {
+        // The cross-queue event is still in flight: stall until it
+        // completes and pay the event-propagation overhead.
+        clock_ns_ = ev.ready_ns + model_.spec().cross_queue_sync_ns;
+    }
+}
+
 void Queue::wait() {
     clock_ns_ += model_.spec().host_sync_overhead_ns;
 }
@@ -27,7 +48,7 @@ double Queue::transfer(std::size_t bytes) {
     // bandwidth (PCIe-class).
     const double bw = model_.spec().gmem_bandwidth(1) / 4.0;
     const double time_ns = static_cast<double>(bytes) / bw * 1e9 +
-                           model_.spec().kernel_launch_overhead_ns;
+                           model_.launch_overhead_ns(cfg_);
     clock_ns_ += time_ns;
     return time_ns;
 }

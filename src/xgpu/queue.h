@@ -3,10 +3,21 @@
 // without host synchronization; the host blocks only when results are
 // downloaded (Decrypt).  A Profiler records per-kernel-class simulated time
 // and the NTT / non-NTT split used by Figures 5, 16 and 18.
+//
+// Multi-queue execution (Section III-D / Figs. 16-18): every Queue keeps
+// its own timeline but all queues of one device share a common epoch, so an
+// Event recorded on one queue can be waited on from another.  Ordering
+// rules match a SYCL in-order queue per tile: submissions to the same
+// queue never reorder; cross-queue dependencies are expressed explicitly
+// through events and advance the waiting queue's clock to the event's
+// completion time (plus a cross-queue synchronization overhead when the
+// wait actually stalls).
 #pragma once
 
+#include <algorithm>
 #include <map>
 #include <memory>
+#include <span>
 #include <string>
 
 #include "xgpu/buffer.h"
@@ -14,6 +25,18 @@
 #include "xgpu/threadpool.h"
 
 namespace xehe::xgpu {
+
+class Queue;
+
+/// Completion marker on a queue's simulated timeline.  Recorded on submit
+/// (or explicitly via Queue::record_event) and waitable from any queue of
+/// the same device.  A default-constructed event is "always ready".
+struct Event {
+    double ready_ns = 0.0;        ///< simulated completion time
+    const Queue *source = nullptr;
+
+    bool valid() const noexcept { return source != nullptr; }
+};
 
 /// Accumulates simulated time per kernel class.
 class Profiler {
@@ -46,7 +69,35 @@ public:
         return total_ns_ > 0.0 ? ntt_ns_ / total_ns_ : 0.0;
     }
 
-    const std::map<std::string, Entry> &entries() const noexcept { return entries_; }
+    const std::map<std::string, Entry> &entries() const noexcept {
+        return entries_;
+    }
+
+    /// Folds another profiler's history into this one — the aggregation a
+    /// multi-queue scheduler performs.  Kernel time is a deterministic
+    /// function of the kernel's stats, so the aggregate over a workload is
+    /// invariant under how the kernels were distributed across queues.
+    void merge(const Profiler &other) {
+        for (const auto &[name, e] : other.entries_) {
+            Entry &mine = entries_[name];
+            mine.launches += e.launches;
+            mine.time_ns += e.time_ns;
+            mine.alu_ops += e.alu_ops;
+            mine.is_ntt = e.is_ntt;
+        }
+        total_ns_ += other.total_ns_;
+        total_alu_ops_ += other.total_alu_ops_;
+        ntt_ns_ += other.ntt_ns_;
+    }
+
+    /// Total kernel launches across every kernel class.
+    std::size_t launches() const noexcept {
+        std::size_t count = 0;
+        for (const auto &[name, e] : entries_) {
+            count += e.launches;
+        }
+        return count;
+    }
 
     void reset() {
         entries_.clear();
@@ -77,6 +128,7 @@ public:
     const ExecConfig &config() const noexcept { return cfg_; }
     MemoryCache &cache() noexcept { return cache_; }
     Profiler &profiler() noexcept { return profiler_; }
+    const Profiler &profiler() const noexcept { return profiler_; }
 
     /// When false, kernels are only costed, not executed (used by the big
     /// parameter sweeps in bench/; tests always run functionally).
@@ -87,6 +139,23 @@ public:
     /// the device clock.  Non-blocking on the host.
     double submit(const Kernel &kernel);
 
+    /// Dependency-aware submission: the kernel starts no earlier than every
+    /// event in `deps` (cross-queue waits charge cross_queue_sync_ns when
+    /// they stall this queue; same-queue deps are free — the queue is
+    /// in-order).  Returns the kernel's completion event.
+    Event submit(const Kernel &kernel, std::span<const Event> deps);
+
+    /// Event at the current head of this queue's timeline: everything
+    /// submitted so far completes no later than this event.
+    Event record_event() const noexcept { return Event{clock_ns_, this}; }
+
+    /// Makes all later submissions on this queue start no earlier than
+    /// `ev`.  Timeline-only: nothing is recorded in the profiler.  Waiting
+    /// on an event from another queue that is still in the future stalls
+    /// this queue until the event is ready and charges the cross-queue
+    /// synchronization overhead.
+    void wait_for(const Event &ev);
+
     /// Blocking host synchronization (charges host_sync_overhead).
     void wait();
 
@@ -96,6 +165,10 @@ public:
     /// Device clock (ns since last reset).
     double clock_ns() const noexcept { return clock_ns_; }
     void reset_clock() noexcept { clock_ns_ = 0.0; }
+
+    /// Advances the clock to at least `t` (no overhead; used by the
+    /// scheduler to join queues on a common timeline point).
+    void advance_to(double t) noexcept { clock_ns_ = std::max(clock_ns_, t); }
 
     /// Charges the memory cache's accumulated allocation time since the
     /// last call onto the timeline (allocation happens on the critical path

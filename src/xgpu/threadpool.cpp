@@ -50,7 +50,8 @@ void ThreadPool::worker_loop() {
         {
             std::unique_lock<std::mutex> lock(mutex_);
             cv_work_.wait(lock, [&] {
-                return stop_ || (job_ != nullptr && generation_ != seen_generation);
+                return stop_ ||
+                       (job_ != nullptr && generation_ != seen_generation);
             });
             if (stop_) {
                 return;

@@ -29,7 +29,8 @@ public:
 
     /// Runs fn(i) for i in [0, count), distributing across workers.
     /// The calling thread participates.  Blocks until complete.
-    void parallel_for(std::size_t count, const std::function<void(std::size_t)> &fn);
+    void parallel_for(std::size_t count,
+                      const std::function<void(std::size_t)> &fn);
 
     /// Process-wide shared pool.
     static ThreadPool &global();

@@ -15,7 +15,8 @@ using TestBench = xehe::test::CkksBench;
 
 namespace {
 
-std::vector<std::complex<double>> random_values(std::size_t count, uint64_t seed,
+std::vector<std::complex<double>> random_values(std::size_t count,
+                                                uint64_t seed,
                                                 double magnitude = 1.0) {
     return xehe::test::random_complex(count, seed, magnitude);
 }
@@ -99,7 +100,8 @@ TEST(Ckks, AddSubNegate) {
     const auto ct_b = bench.encryptor.encrypt(bench.encoder.encode(
         std::span<const std::complex<double>>(b), kScale));
 
-    std::vector<std::complex<double>> sum(a.size()), diff(a.size()), neg(a.size());
+    std::vector<std::complex<double>> sum(a.size()), diff(a.size()),
+        neg(a.size());
     for (std::size_t i = 0; i < a.size(); ++i) {
         sum[i] = a[i] + b[i];
         diff[i] = a[i] - b[i];
@@ -247,7 +249,8 @@ TEST(Ckks, RotateShiftsSlots) {
 
     for (int step : steps) {
         const auto rotated = bench.evaluator.rotate(ct, step, gk);
-        const auto decoded = bench.encoder.decode(bench.decryptor.decrypt(rotated));
+        const auto decoded =
+            bench.encoder.decode(bench.decryptor.decrypt(rotated));
         // Cyclic left shift by `step`.
         std::vector<std::complex<double>> expect(slots);
         for (std::size_t i = 0; i < slots; ++i) {

@@ -178,7 +178,8 @@ struct CkksBench {
     }
 
     /// Encode -> encrypt.
-    ckks::Ciphertext enc(const std::vector<complexd> &v, double scale = kScale) {
+    ckks::Ciphertext enc(const std::vector<complexd> &v,
+                         double scale = kScale) {
         return encryptor.encrypt(
             encoder.encode(std::span<const complexd>(v), scale));
     }

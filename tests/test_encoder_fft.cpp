@@ -106,9 +106,12 @@ TEST(Encoder, ScaleControlsPrecision) {
     const xc::CkksEncoder encoder(context);
     const auto values = random_complex(encoder.slots(), 13);
     double coarse_err = 0, fine_err = 0;
-    for (auto [scale, err] : {std::pair<double, double *>{std::ldexp(1.0, 20), &coarse_err},
-                              std::pair<double, double *>{std::ldexp(1.0, 45), &fine_err}}) {
-        const auto plain = encoder.encode(std::span<const complexd>(values), scale);
+    for (auto [scale, err] : {std::pair<double, double *>{std::ldexp(1.0, 20),
+                                                          &coarse_err},
+                              std::pair<double, double *>{std::ldexp(1.0, 45),
+                                                          &fine_err}}) {
+        const auto plain = encoder.encode(std::span<const complexd>(values),
+                                          scale);
         const auto decoded = encoder.decode(plain);
         for (std::size_t i = 0; i < values.size(); ++i) {
             *err = std::max(*err, std::abs(decoded[i] - values[i]));

@@ -136,7 +136,8 @@ TEST(PolyHelpers, AddSubMulMadAgainstScalarLoop) {
     xc::poly::add(a, b, out, moduli, n);
     for (std::size_t r = 0; r < 2; ++r) {
         for (std::size_t i = 0; i < n; ++i) {
-            expect[r * n + i] = xu::add_mod(a[r * n + i], b[r * n + i], moduli[r]);
+            expect[r * n + i] = xu::add_mod(a[r * n + i], b[r * n + i],
+                                            moduli[r]);
         }
     }
     EXPECT_EQ(out, expect);

@@ -71,7 +71,8 @@ TEST(GpuEvaluator, AddMatchesCpu) {
     const auto b = bench.encrypt_random(3);
     const auto expect = bench.cpu.add(a, b);
     const auto got = xr::download(
-        bench.gpu, bench.eval.add(xr::upload(bench.gpu, a), xr::upload(bench.gpu, b)));
+        bench.gpu, bench.eval.add(xr::upload(bench.gpu, a),
+                                  xr::upload(bench.gpu, b)));
     EXPECT_EQ(got.data, expect.data);
 }
 
@@ -85,7 +86,8 @@ TEST(GpuEvaluator, MultiplyMatchesCpu) {
         const auto expect = bench.cpu.multiply(a, b);
         const auto got = xr::download(
             bench.gpu,
-            bench.eval.multiply(xr::upload(bench.gpu, a), xr::upload(bench.gpu, b)));
+            bench.eval.multiply(xr::upload(bench.gpu, a), xr::upload(bench.gpu,
+                                                                     b)));
         EXPECT_EQ(got.data, expect.data) << "fuse=" << fuse;
         EXPECT_EQ(got.size, 3u);
     }
@@ -116,10 +118,12 @@ TEST(GpuEvaluator, RescaleMatchesCpu) {
     GpuBench bench(1024, 3, small_gpu_options());
     const auto a = bench.encrypt_random(9);
     const auto b = bench.encrypt_random(10);
-    const auto prod = bench.cpu.relinearize(bench.cpu.multiply(a, b), bench.relin);
+    const auto prod = bench.cpu.relinearize(bench.cpu.multiply(a, b),
+                                            bench.relin);
     const auto expect = bench.cpu.rescale(prod);
     const auto got =
-        xr::download(bench.gpu, bench.eval.rescale(xr::upload(bench.gpu, prod)));
+        xr::download(bench.gpu, bench.eval.rescale(xr::upload(bench.gpu,
+                                                              prod)));
     EXPECT_EQ(got.data, expect.data);
     EXPECT_DOUBLE_EQ(got.scale, expect.scale);
 }
@@ -129,7 +133,8 @@ TEST(GpuEvaluator, ModSwitchMatchesCpu) {
     const auto a = bench.encrypt_random(11);
     const auto expect = bench.cpu.mod_switch(a);
     const auto got =
-        xr::download(bench.gpu, bench.eval.mod_switch(xr::upload(bench.gpu, a)));
+        xr::download(bench.gpu, bench.eval.mod_switch(xr::upload(bench.gpu,
+                                                                 a)));
     EXPECT_EQ(got.data, expect.data);
 }
 
@@ -140,7 +145,8 @@ TEST(GpuEvaluator, RotateMatchesCpu) {
     const auto a = bench.encrypt_random(12);
     const auto expect = bench.cpu.rotate(a, 1, gk);
     const auto got =
-        xr::download(bench.gpu, bench.eval.rotate(xr::upload(bench.gpu, a), 1, gk));
+        xr::download(bench.gpu, bench.eval.rotate(xr::upload(bench.gpu, a), 1,
+                                                  gk));
     EXPECT_EQ(got.data, expect.data);
 }
 
@@ -158,8 +164,9 @@ TEST(GpuEvaluator, AllNttVariantsAgree) {
         const auto a = bench.encrypt_random(13);
         const auto b = bench.encrypt_random(14);
         const auto got = xr::download(
-            bench.gpu, bench.eval.mul_lin_rs(xr::upload(bench.gpu, a),
-                                             xr::upload(bench.gpu, b), bench.relin));
+            bench.gpu,
+            bench.eval.mul_lin_rs(xr::upload(bench.gpu, a),
+                                  xr::upload(bench.gpu, b), bench.relin));
         if (reference.empty()) {
             reference = got.data;
         } else {
@@ -181,12 +188,13 @@ TEST(GpuEvaluator, RoutinesDecryptCorrectly) {
     const auto ct = bench.encryptor.encrypt(
         bench.encoder.encode(std::span<const double>(a_values), kScale));
     const auto result = xr::download(
-        bench.gpu, bench.eval.sqr_lin_rs(xr::upload(bench.gpu, ct), bench.relin));
+        bench.gpu, bench.eval.sqr_lin_rs(xr::upload(bench.gpu, ct),
+                                         bench.relin));
     const auto decoded = bench.encoder.decode(bench.decryptor.decrypt(result));
     double max_err = 0;
     for (std::size_t i = 0; i < a_values.size(); ++i) {
-        max_err = std::max(max_err,
-                           std::abs(decoded[i].real() - a_values[i] * a_values[i]));
+        max_err = std::max(
+            max_err, std::abs(decoded[i].real() - a_values[i] * a_values[i]));
     }
     EXPECT_LT(max_err, 1e-3);
 }
@@ -289,7 +297,8 @@ TEST(GpuEvaluator, SubNegateMatchCpu) {
                                           xr::upload(bench.gpu, b)))
                   .data,
               bench.cpu.sub(a, b).data);
-    EXPECT_EQ(xr::download(bench.gpu, bench.eval.negate(xr::upload(bench.gpu, a)))
+    EXPECT_EQ(xr::download(bench.gpu, bench.eval.negate(xr::upload(bench.gpu,
+                                                                   a)))
                   .data,
               bench.cpu.negate(a).data);
 }
@@ -306,7 +315,8 @@ TEST(GpuEvaluator, PlainOpsMatchCpu) {
     const auto plain =
         bench.encoder.encode(std::span<const double>(values), kScale);
     EXPECT_EQ(xr::download(bench.gpu,
-                           bench.eval.add_plain(xr::upload(bench.gpu, a), plain))
+                           bench.eval.add_plain(xr::upload(bench.gpu, a),
+                                                plain))
                   .data,
               bench.cpu.add_plain(a, plain).data);
     const auto got = xr::download(

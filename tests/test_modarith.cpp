@@ -164,7 +164,8 @@ TEST(ModArith, MultiplyModOperand) {
         const uint64_t y = rng() % q.value();
         const xu::MultiplyModOperand op(y, q);
         const uint64_t x = rng();
-        EXPECT_EQ(xu::mul_mod(x, op, q), ref_mulmod(x % q.value(), y, q.value()));
+        EXPECT_EQ(xu::mul_mod(x, op, q), ref_mulmod(x % q.value(), y,
+                                                    q.value()));
         // Lazy result is congruent and < 2q.
         const uint64_t lazy = xu::mul_mod_lazy(x, op, q);
         EXPECT_LT(lazy, 2 * q.value());
@@ -173,7 +174,8 @@ TEST(ModArith, MultiplyModOperand) {
 }
 
 TEST(ModArith, ForwardButterflyRangeAndValue) {
-    const xu::Modulus q(0x7FFFFFFFFCA01ull);  // < 2^62 / 4 would be needed: 51-bit prime
+    // < 2^62 / 4 would be needed: 51-bit prime
+    const xu::Modulus q(0x7FFFFFFFFCA01ull);
     std::mt19937_64 rng(17);
     for (int i = 0; i < 500; ++i) {
         const uint64_t w = rng() % q.value();

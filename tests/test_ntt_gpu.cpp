@@ -27,7 +27,8 @@ const xn::NttVariant kAllVariants[] = {
 }  // namespace
 
 class GpuNttVariantTest
-    : public ::testing::TestWithParam<std::tuple<xn::NttVariant, std::size_t>> {};
+    : public ::testing::TestWithParam<
+          std::tuple<xn::NttVariant, std::size_t>> {};
 
 TEST_P(GpuNttVariantTest, ForwardMatchesReference) {
     const auto [variant, n] = GetParam();
@@ -138,7 +139,8 @@ TEST(GpuNtt, DualTileFasterThanSingle) {
     std::vector<uint64_t> data(8 * n, 1);
 
     auto cost = [&](int tiles) {
-        xg::Queue queue(xg::device1(), xg::ExecConfig{tiles, xg::IsaMode::Compiler, true});
+        xg::Queue queue(xg::device1(),
+                        xg::ExecConfig{tiles, xg::IsaMode::Compiler, true});
         queue.set_functional(false);
         xn::GpuNtt gpu(queue);
         return gpu.forward(data, 8, tables);

@@ -70,6 +70,32 @@ TEST(Profiler, NttSplitMatchesFig5Bookkeeping) {
         << "split must partition the total";
 }
 
+TEST(Profiler, MergeAggregatesAcrossQueues) {
+    // merge() is the multi-queue aggregation path: totals, the NTT split
+    // and per-class entries must all fold together.
+    xg::Profiler a, b;
+    a.record(make_stats("ntt_fwd", true, 100.0), 10.0);
+    a.record(make_stats("dyadic_mul", false, 50.0), 5.0);
+    b.record(make_stats("ntt_fwd", true, 100.0), 30.0);
+    b.record(make_stats("rescale", false, 25.0), 2.0);
+
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.total_ns(), 47.0);
+    EXPECT_DOUBLE_EQ(a.ntt_ns(), 40.0);
+    EXPECT_DOUBLE_EQ(a.total_alu_ops(), 275.0);
+    EXPECT_EQ(a.launches(), 4u);
+    ASSERT_EQ(a.entries().size(), 3u);
+    EXPECT_EQ(a.entries().at("ntt_fwd").launches, 2u);
+    EXPECT_DOUBLE_EQ(a.entries().at("ntt_fwd").time_ns, 40.0);
+    EXPECT_TRUE(a.entries().at("ntt_fwd").is_ntt);
+    EXPECT_EQ(a.entries().at("rescale").launches, 1u);
+
+    // Merging an empty profiler is a no-op.
+    const double before = a.total_ns();
+    a.merge(xg::Profiler{});
+    EXPECT_DOUBLE_EQ(a.total_ns(), before);
+}
+
 TEST(Profiler, ResetClearsEverything) {
     xg::Profiler p;
     p.record(make_stats("k", true, 9.0), 3.0);
@@ -145,7 +171,8 @@ TEST(ProfilerQueue, NttFractionOnRealPipeline) {
     queue.submit(mul);
 
     const auto &p = queue.profiler();
-    EXPECT_DOUBLE_EQ(p.ntt_ns(), ntt_only) << "non-NTT kernel must not move the NTT bucket";
+    EXPECT_DOUBLE_EQ(p.ntt_ns(), ntt_only)
+        << "non-NTT kernel must not move the NTT bucket";
     EXPECT_GT(p.other_ns(), 0.0);
     EXPECT_GT(p.ntt_fraction(), 0.0);
     EXPECT_LT(p.ntt_fraction(), 1.0);

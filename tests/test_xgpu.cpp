@@ -13,7 +13,8 @@ namespace xg = xehe::xgpu;
 TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
     xg::ThreadPool pool(4);
     std::vector<std::atomic<int>> hits(10000);
-    pool.parallel_for(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
+    pool.parallel_for(hits.size(),
+                      [&](std::size_t i) { hits[i].fetch_add(1); });
     for (const auto &h : hits) {
         EXPECT_EQ(h.load(), 1);
     }
@@ -31,7 +32,8 @@ TEST(ThreadPool, ReusableAcrossCalls) {
     xg::ThreadPool pool(3);
     for (int round = 0; round < 20; ++round) {
         std::atomic<long> sum{0};
-        pool.parallel_for(1000, [&](std::size_t i) { sum += static_cast<long>(i); });
+        pool.parallel_for(1000,
+                          [&](std::size_t i) { sum += static_cast<long>(i); });
         EXPECT_EQ(sum.load(), 499500);
     }
 }
@@ -89,7 +91,8 @@ TEST(CostModel, RooflineBound) {
     cfg.charge_launch_overhead = false;
     const double t = model.kernel_time_ns(s, cfg) * 1e-9;
     const auto &spec = model.spec();
-    EXPECT_GE(t * spec.peak_int64_ops(1) * spec.alu_efficiency, s.alu_ops * 0.999);
+    EXPECT_GE(t * spec.peak_int64_ops(1) * spec.alu_efficiency,
+              s.alu_ops * 0.999);
     EXPECT_GE(t * spec.gmem_bandwidth(1), s.gmem_bytes / s.gmem_eff * 0.999);
 }
 
@@ -124,7 +127,8 @@ TEST(CostModel, TilesClampedToDevice) {
     s.work_items = 1e9;
     xg::ExecConfig one{1, xg::IsaMode::Compiler, false};
     xg::ExecConfig eight{8, xg::IsaMode::Compiler, false};
-    EXPECT_DOUBLE_EQ(model.kernel_time_ns(s, one), model.kernel_time_ns(s, eight));
+    EXPECT_DOUBLE_EQ(model.kernel_time_ns(s, one),
+                     model.kernel_time_ns(s, eight));
 }
 
 TEST(MemoryCache, ReusesFreedBuffers) {
@@ -212,7 +216,8 @@ TEST(Queue, DryRunSkipsExecution) {
     bool touched = false;
     xg::KernelStats s;
     s.alu_ops = 1;
-    xg::ElementwiseKernel k("noop", 16, [&](std::size_t) { touched = true; }, s);
+    xg::ElementwiseKernel k("noop", 16, [&](std::size_t) { touched = true; },
+                            s);
     const double t = queue.submit(k);
     EXPECT_FALSE(touched);
     EXPECT_GT(t, 0.0) << "cost must still be charged";
