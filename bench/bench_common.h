@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdio>
+#include <fstream>
 #include <map>
 #include <string>
 #include <vector>
@@ -12,6 +13,40 @@
 #include "xehe/routines.h"
 
 namespace bench {
+
+/// One deterministic simulated metric destined for the CI baseline diff.
+struct JsonMetric {
+    std::string name;
+    double value = 0.0;       ///< ms for *_ms entries, ratio for *_speedup
+    const char *unit = "ms";
+};
+
+/// google-benchmark-style JSON so the CI artifact and the baseline diff
+/// tooling read one format for simulated and wall-clock benches alike.
+/// Returns false if the path cannot be opened for writing.
+inline bool write_json(const std::string &path,
+                       const std::vector<JsonMetric> &metrics,
+                       const char *source, const char *device_name) {
+    std::ofstream out(path);
+    if (!out) {
+        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+        return false;
+    }
+    out << "{\n  \"context\": {\n"
+        << "    \"device\": \"" << device_name << "\",\n"
+        << "    \"source\": \"" << source << "\",\n"
+        << "    \"deterministic\": true\n  },\n  \"benchmarks\": [\n";
+    for (std::size_t i = 0; i < metrics.size(); ++i) {
+        const auto &m = metrics[i];
+        out << "    {\"name\": \"" << m.name << "\", "
+            << "\"run_type\": \"iteration\", "
+            << "\"real_time\": " << m.value << ", "
+            << "\"time_unit\": \"" << m.unit << "\"}"
+            << (i + 1 < metrics.size() ? ",\n" : "\n");
+    }
+    out << "  ]\n}\n";
+    return out.good();
+}
 
 using xehe::ntt::GpuNtt;
 using xehe::ntt::NttConfig;

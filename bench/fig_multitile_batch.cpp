@@ -10,47 +10,10 @@
 // file against bench/baseline.json to catch cost-model regressions.
 // N = 32K, L = 8, cost-only (the paper's operating point).
 #include <cstring>
-#include <fstream>
 
 #include "bench_common.h"
 #include "xehe/evaluator_pool.h"
 #include "xehe/matmul.h"
-
-namespace {
-
-struct JsonMetric {
-    std::string name;
-    double value = 0.0;       ///< ms for *_ms entries, ratio for *_speedup
-    const char *unit = "ms";
-};
-
-/// google-benchmark-style JSON so the CI artifact and the baseline diff
-/// tooling read one format for simulated and wall-clock benches alike.
-/// Returns false if the path cannot be opened for writing.
-bool write_json(const std::string &path, const std::vector<JsonMetric> &metrics,
-                const char *device_name) {
-    std::ofstream out(path);
-    if (!out) {
-        std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
-        return false;
-    }
-    out << "{\n  \"context\": {\n"
-        << "    \"device\": \"" << device_name << "\",\n"
-        << "    \"source\": \"fig_multitile_batch\",\n"
-        << "    \"deterministic\": true\n  },\n  \"benchmarks\": [\n";
-    for (std::size_t i = 0; i < metrics.size(); ++i) {
-        const auto &m = metrics[i];
-        out << "    {\"name\": \"" << m.name << "\", "
-            << "\"run_type\": \"iteration\", "
-            << "\"real_time\": " << m.value << ", "
-            << "\"time_unit\": \"" << m.unit << "\"}"
-            << (i + 1 < metrics.size() ? ",\n" : "\n");
-    }
-    out << "  ]\n}\n";
-    return out.good();
-}
-
-}  // namespace
 
 int main(int argc, char **argv) {
     using namespace bench;
@@ -81,7 +44,7 @@ int main(int argc, char **argv) {
     workload.matmul_tiles = 2;
     workload.functional = false;
 
-    std::vector<JsonMetric> metrics;
+    std::vector<bench::JsonMetric> metrics;
 
     // --- batched serving: 1 queue vs one queue per tile -----------------
     print_header("Batched multi-tile serving on Device1",
@@ -150,7 +113,8 @@ int main(int argc, char **argv) {
     metrics.push_back({"matmul/multitile_speedup", matmul_speedup, "x"});
 
     if (!json_path.empty()) {
-        if (!write_json(json_path, metrics, spec.name.c_str())) {
+        if (!bench::write_json(json_path, metrics, "fig_multitile_batch",
+                               spec.name.c_str())) {
             return 2;
         }
         std::printf("\nwrote %zu metrics to %s\n", metrics.size(),

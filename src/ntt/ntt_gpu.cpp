@@ -598,15 +598,19 @@ double GpuNtt::forward(std::span<uint64_t> data, std::size_t polys,
                                        queue_->functional());
     const double t0 = queue_->clock_ns();
     const auto &spec = queue_->spec();
+    // One profiler entry per (poly, rns) transform: launch counts are
+    // invariant under how the call batches slices into physical launches.
+    const auto submit = [&](const xgpu::Kernel &kernel) {
+        queue_->submit(xgpu::SlicedKernel(kernel, geo.transforms()));
+    };
 
     if (cfg_.variant == NttVariant::NaiveRadix2) {
         std::size_t gap = geo.n >> 1;
         for (std::size_t m = 1; m < geo.n; m <<= 1) {
-            queue_->submit(GlobalFwdKernel(data, tables, geo, gap, 1, cfg_,
-                                           spec));
+            submit(GlobalFwdKernel(data, tables, geo, gap, 1, cfg_, spec));
             gap >>= 1;
         }
-        queue_->submit(ReduceKernel(data, tables, geo, cfg_));
+        submit(ReduceKernel(data, tables, geo, cfg_));
         return queue_->clock_ns() - t0;
     }
 
@@ -621,12 +625,11 @@ double GpuNtt::forward(std::span<uint64_t> data, std::size_t polys,
         const int sub = head > 0 ? head : std::min(lr, global_rounds);
         head = 0;
         const std::size_t gap_lo = gap >> (sub - 1);
-        queue_->submit(GlobalFwdKernel(data, tables, geo, gap_lo, sub, cfg_,
-                                       spec));
+        submit(GlobalFwdKernel(data, tables, geo, gap_lo, sub, cfg_, spec));
         gap = gap_lo >> 1;
         global_rounds -= sub;
     }
-    queue_->submit(SlmFwdKernel(data, tables, geo, block, cfg_, spec));
+    submit(SlmFwdKernel(data, tables, geo, block, cfg_, spec));
     return queue_->clock_ns() - t0;
 }
 
@@ -636,32 +639,33 @@ double GpuNtt::inverse(std::span<uint64_t> data, std::size_t polys,
                                        queue_->functional());
     const double t0 = queue_->clock_ns();
     const auto &spec = queue_->spec();
+    const auto submit = [&](const xgpu::Kernel &kernel) {
+        queue_->submit(xgpu::SlicedKernel(kernel, geo.transforms()));
+    };
 
     if (cfg_.variant == NttVariant::NaiveRadix2) {
         std::size_t gap = 1;
         for (std::size_t m = geo.n >> 1; m >= 1; m >>= 1) {
-            queue_->submit(GlobalInvKernel(data, tables, geo, gap, 1, cfg_,
-                                           spec));
+            submit(GlobalInvKernel(data, tables, geo, gap, 1, cfg_, spec));
             gap <<= 1;
         }
-        queue_->submit(InvScaleKernel(data, tables, geo, cfg_));
+        submit(InvScaleKernel(data, tables, geo, cfg_));
         return queue_->clock_ns() - t0;
     }
 
     const std::size_t block = std::min(cfg_.slm_block, geo.n);
-    queue_->submit(SlmInvKernel(data, tables, geo, block, cfg_, spec));
+    submit(SlmInvKernel(data, tables, geo, block, cfg_, spec));
     int global_rounds = util::log2_exact(geo.n / block);
     const int lr = util::log2_exact(
         static_cast<uint64_t>(variant_radix(cfg_.variant)));
     std::size_t gap = block;
     while (global_rounds > 0) {
         const int sub = std::min(lr, global_rounds);
-        queue_->submit(GlobalInvKernel(data, tables, geo, gap, sub, cfg_,
-                                       spec));
+        submit(GlobalInvKernel(data, tables, geo, gap, sub, cfg_, spec));
         gap <<= sub;
         global_rounds -= sub;
     }
-    queue_->submit(InvScaleKernel(data, tables, geo, cfg_));
+    submit(InvScaleKernel(data, tables, geo, cfg_));
     return queue_->clock_ns() - t0;
 }
 

@@ -8,6 +8,7 @@ GpuOptions baseline_options() {
     opts.isa = xgpu::IsaMode::Compiler;
     opts.tiles = 1;
     opts.fuse_mad_mod = false;
+    opts.fuse_dyadic = false;
     opts.use_memory_cache = false;
     opts.async = false;
     return opts;

@@ -16,6 +16,12 @@ struct GpuOptions {
     xgpu::IsaMode isa = xgpu::IsaMode::Compiler;
     int tiles = 1;               ///< explicit multi-queue tile submission
     bool fuse_mad_mod = true;    ///< fused multiply-add kernels (III-A1)
+    /// Fuses chains of dyadic element-wise kernels (the non-NTT segments
+    /// of the Section IV-C routines) into single launches: one launch
+    /// overhead per RNS limb group, merged byte traffic, and merged
+    /// scratch allocations.  Bit-exact versus the unfused pipeline
+    /// (tests/test_fusion.cpp).
+    bool fuse_dyadic = true;
     bool use_memory_cache = true;///< free/used pool recycling (III-C1)
     bool async = true;           ///< no host sync between kernels (Fig. 2)
     std::size_t slm_block = 4096;

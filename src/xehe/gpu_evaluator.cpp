@@ -151,33 +151,40 @@ GpuCiphertext GpuEvaluator::multiply(const GpuCiphertext &a,
     const auto b0 = b.poly(0), b1 = b.poly(1);
     auto d0 = out.poly(0), d1 = out.poly(1), d2 = out.poly(2);
 
-    submit_dyadic("he_mul_d0", count, op_cost(CoreOp::MulMod), 3.0,
-                  [=, this](std::size_t i) {
-                      d0[i] = util::mul_mod(a0[i], b0[i], modulus_at(i, n));
-                  });
+    // The three tensor-product partials form one dyadic chain over shared
+    // inputs: fused, they are a single launch re-reading a0/a1/b0/b1 from
+    // registers (11 polynomial streams merge down to 7).
+    xgpu::FusionBuilder group = dyadic_group();
+    group.stage("he_mul_d0", count, op_cost(CoreOp::MulMod), 3.0,
+                [=, this](std::size_t i) {
+                    d0[i] = util::mul_mod(a0[i], b0[i], modulus_at(i, n));
+                });
     if (gpu_->options().fuse_mad_mod) {
-        submit_dyadic("he_mul_d1_fused", count,
-                      op_cost(CoreOp::MulMod) + op_cost(CoreOp::MadMod), 5.0,
-                      [=, this](std::size_t i) {
-                          const Modulus &q = modulus_at(i, n);
-                          const uint64_t t = util::mul_mod(a0[i], b1[i], q);
-                          d1[i] = util::mad_mod(a1[i], b0[i], t, q);
-                      });
+        group.then("he_mul_d1_fused",
+                   op_cost(CoreOp::MulMod) + op_cost(CoreOp::MadMod), 5.0,
+                   [=, this](std::size_t i) {
+                       const Modulus &q = modulus_at(i, n);
+                       const uint64_t t = util::mul_mod(a0[i], b1[i], q);
+                       d1[i] = util::mad_mod(a1[i], b0[i], t, q);
+                   },
+                   /*shared_streams=*/2.0);
     } else {
-        submit_dyadic("he_mul_d1", count,
-                      2 * op_cost(CoreOp::MulMod) + op_cost(CoreOp::AddMod),
-                      5.0,
-                      [=, this](std::size_t i) {
-                          const Modulus &q = modulus_at(i, n);
-                          const uint64_t t = util::mul_mod(a0[i], b1[i], q);
-                          d1[i] = util::add_mod(util::mul_mod(a1[i], b0[i], q),
-                                                t, q);
-                      });
+        group.then("he_mul_d1",
+                   2 * op_cost(CoreOp::MulMod) + op_cost(CoreOp::AddMod), 5.0,
+                   [=, this](std::size_t i) {
+                       const Modulus &q = modulus_at(i, n);
+                       const uint64_t t = util::mul_mod(a0[i], b1[i], q);
+                       d1[i] = util::add_mod(util::mul_mod(a1[i], b0[i], q),
+                                             t, q);
+                   },
+                   /*shared_streams=*/2.0);
     }
-    submit_dyadic("he_mul_d2", count, op_cost(CoreOp::MulMod), 3.0,
-                  [=, this](std::size_t i) {
-                      d2[i] = util::mul_mod(a1[i], b1[i], modulus_at(i, n));
-                  });
+    group.then("he_mul_d2", op_cost(CoreOp::MulMod), 3.0,
+               [=, this](std::size_t i) {
+                   d2[i] = util::mul_mod(a1[i], b1[i], modulus_at(i, n));
+               },
+               /*shared_streams=*/2.0);
+    group.submit();
     gpu_->maybe_sync();
     return out;
 }
@@ -254,6 +261,7 @@ void GpuEvaluator::switch_key_inplace(GpuCiphertext &dest,
     const std::size_t special = ctx_->key_rns() - 1;
     const Modulus &p = ctx_->special_prime();
     util::require(target.size() == l * n, "switch-key target size mismatch");
+    const bool fuse = gpu_->options().fuse_dyadic;
 
     // 1. Digits need the coefficient representation.
     auto target_coeff = gpu_->allocate(l * n);
@@ -265,55 +273,91 @@ void GpuEvaluator::switch_key_inplace(GpuCiphertext &dest,
     gpu_->gpu_ntt().inverse(target_coeff.span(), 1, ctx_->tables(l));
 
     // 2. Inner products over the extended base {q_0..q_{l-1}, p}.
+    //
+    // Fused, the digit builds for every extended-base prime submit as ONE
+    // kernel (one launch for the whole limb group), their buffers and the
+    // mod-down temp block merge into a single scratch allocation, and the
+    // per-prime NTT/inner-product structure is untouched — the profiler's
+    // kernel-name multiset is invariant.
     auto acc0 = gpu_->allocate((l + 1) * n);
     auto acc1 = gpu_->allocate((l + 1) * n);
-    auto digits = gpu_->allocate(l * n);
-    for (std::size_t j = 0; j <= l; ++j) {
+    auto scratch = fuse ? gpu_->allocate((l + 1) * l * n + l * n)
+                        : gpu_->allocate(l * n);
+    auto t_buf = fuse ? xgpu::DeviceBuffer{} : gpu_->allocate(n);
+    const auto digits_at = [&](std::size_t j) {
+        return fuse ? scratch.span().subspan(j * l * n, l * n)
+                    : scratch.span();
+    };
+    const auto t_at = [&](std::size_t j) {
+        return fuse ? scratch.span().subspan((l + 1) * l * n + j * n, n)
+                    : t_buf.span();
+    };
+
+    const auto build_digits = [&](xgpu::FusionBuilder &group, std::size_t j) {
         const std::size_t mod_idx = (j < l) ? j : special;
         const Modulus &mj = ctx_->key_modulus()[mod_idx];
-        // Build all l digits under m_j.
-        {
-            const auto src = target_coeff.span();
-            auto dst = digits.span();
-            submit_dyadic("ks_reduce_digits", l * n, 4.0, 2.0,
-                          [=](std::size_t i) {
-                              const std::size_t comp = i / n;
-                              dst[i] = comp == mod_idx
-                                           ? src[i]
-                                           : util::barrett_reduce_64(src[i],
-                                                                     mj);
-                          });
+        const auto src = target_coeff.span();
+        auto dst = digits_at(j);
+        group.stage("ks_reduce_digits", l * n, 4.0, 2.0,
+                    [=](std::size_t i) {
+                        const std::size_t comp = i / n;
+                        dst[i] = comp == mod_idx
+                                     ? src[i]
+                                     : util::barrett_reduce_64(src[i], mj);
+                    });
+    };
+    const auto inner_product = [&](std::size_t j) {
+        const std::size_t mod_idx = (j < l) ? j : special;
+        const Modulus &mj = ctx_->key_modulus()[mod_idx];
+        gpu_->gpu_ntt().forward(digits_at(j), l, table_span(mod_idx));
+        const auto dig = digits_at(j);
+        auto a0 = acc0.span().subspan(j * n, n);
+        auto a1 = acc1.span().subspan(j * n, n);
+        const KSwitchKey *kptr = &key;
+        const double mad2 = 2.0 * op_cost(CoreOp::MadMod);
+        submit_dyadic("ks_inner_product", n, mad2 * static_cast<double>(l),
+                      2.0 * static_cast<double>(l) + 4.0,
+                      [=](std::size_t k) {
+                          uint64_t s0 = a0[k], s1 = a1[k];
+                          for (std::size_t i = 0; i < l; ++i) {
+                              const uint64_t d = dig[i * n + k];
+                              const auto k0 =
+                                  kptr->keys[i].component(0, mod_idx);
+                              const auto k1 =
+                                  kptr->keys[i].component(1, mod_idx);
+                              s0 = util::mad_mod(d, k0[k], s0, mj);
+                              s1 = util::mad_mod(d, k1[k], s1, mj);
+                          }
+                          a0[k] = s0;
+                          a1[k] = s1;
+                      });
+    };
+    if (fuse) {
+        // One launch covering all l+1 digit builds; the NTT and inner
+        // product keep their per-prime dependency structure.
+        xgpu::FusionBuilder digit_group = dyadic_group();
+        for (std::size_t j = 0; j <= l; ++j) {
+            build_digits(digit_group, j);
         }
-        gpu_->gpu_ntt().forward(digits.span(), l, table_span(mod_idx));
-        // Accumulate digit_i ⊙ key_i into acc0/acc1 under m_j.
-        {
-            const auto dig = digits.span();
-            auto a0 = acc0.span().subspan(j * n, n);
-            auto a1 = acc1.span().subspan(j * n, n);
-            const KSwitchKey *kptr = &key;
-            const double mad2 = 2.0 * op_cost(CoreOp::MadMod);
-            submit_dyadic("ks_inner_product", n, mad2 * static_cast<double>(l),
-                          2.0 * static_cast<double>(l) + 4.0,
-                          [=](std::size_t k) {
-                              uint64_t s0 = a0[k], s1 = a1[k];
-                              for (std::size_t i = 0; i < l; ++i) {
-                                  const uint64_t d = dig[i * n + k];
-                                  const auto k0 =
-                                      kptr->keys[i].component(0, mod_idx);
-                                  const auto k1 =
-                                      kptr->keys[i].component(1, mod_idx);
-                                  s0 = util::mad_mod(d, k0[k], s0, mj);
-                                  s1 = util::mad_mod(d, k1[k], s1, mj);
-                              }
-                              a0[k] = s0;
-                              a1[k] = s1;
-                          });
+        digit_group.submit();
+        for (std::size_t j = 0; j <= l; ++j) {
+            inner_product(j);
+        }
+    } else {
+        // Unfused: the single digits buffer is rebuilt per prime, so each
+        // build must be consumed before the next overwrites it.
+        for (std::size_t j = 0; j <= l; ++j) {
+            xgpu::FusionBuilder digit_group = dyadic_group();
+            build_digits(digit_group, j);
+            digit_group.submit();
+            inner_product(j);
         }
     }
 
-    // 3. Mod-down by the special prime with rounding.
+    // 3. Mod-down by the special prime with rounding.  Fused, the per-limb
+    // reduce and mod-down steps each submit as one kernel per limb group;
+    // the forward NTTs stay per-limb.
     const uint64_t half = ctx_->half(special);
-    auto t_buf = gpu_->allocate(n);
     for (int part = 0; part < 2; ++part) {
         auto &acc = part == 0 ? acc0 : acc1;
         auto sp = acc.span().subspan(l * n, n);
@@ -322,32 +366,69 @@ void GpuEvaluator::switch_key_inplace(GpuCiphertext &dest,
                       [=](std::size_t k) {
                           sp[k] = util::add_mod(sp[k], half, p);
                       });
+        xgpu::FusionBuilder reduce_group = dyadic_group();
         for (std::size_t j = 0; j < l; ++j) {
             const Modulus &qj = ctx_->key_modulus()[j];
             const uint64_t half_mod = ctx_->half_mod(special, j);
-            auto t = t_buf.span();
-            submit_dyadic("ks_reduce_special", n,
-                          4.0 + op_cost(CoreOp::SubMod), 2.0,
-                          [=](std::size_t k) {
-                              t[k] = util::sub_mod(
-                                  util::barrett_reduce_64(sp[k], qj), half_mod,
-                                  qj);
-                          });
-            gpu_->gpu_ntt().forward(t, 1, table_span(j));
-            auto aj = acc.span().subspan(j * n, n);
-            auto dst = dest.component(static_cast<std::size_t>(part), j);
-            const auto inv_p = ctx_->inv_mod(special, j);
-            submit_dyadic("ks_mod_down", n,
-                          op_cost(CoreOp::SubMod) + op_cost(CoreOp::MulMod) +
-                              op_cost(CoreOp::AddMod),
-                          4.0, [=](std::size_t k) {
-                              const uint64_t diff = util::sub_mod(aj[k], t[k],
-                                                                  qj);
-                              dst[k] = util::add_mod(
-                                  dst[k], util::mul_mod(diff, inv_p, qj), qj);
-                          });
+            auto t = t_at(j);
+            reduce_group.stage("ks_reduce_special", n,
+                               4.0 + op_cost(CoreOp::SubMod), 2.0,
+                               [=](std::size_t k) {
+                                   t[k] = util::sub_mod(
+                                       util::barrett_reduce_64(sp[k], qj),
+                                       half_mod, qj);
+                               });
+            if (!fuse) {
+                reduce_group.submit();
+                finish_mod_down(dest, acc.span(), part, j, t);
+            }
+        }
+        if (fuse) {
+            reduce_group.submit();
+            // The per-limb temps are contiguous and independent: one
+            // batched forward NTT over the whole limb group (bit-exact —
+            // each slice transforms under its own table).
+            gpu_->gpu_ntt().forward(
+                scratch.span().subspan((l + 1) * l * n, l * n), 1,
+                ctx_->tables(l));
+            xgpu::FusionBuilder down_group = dyadic_group();
+            for (std::size_t j = 0; j < l; ++j) {
+                record_mod_down(down_group, dest, acc.span(), part, j,
+                                t_at(j));
+            }
+            down_group.submit();
         }
     }
+}
+
+/// The NTT + mod-down tail of one (part, limb) step in the unfused path.
+void GpuEvaluator::finish_mod_down(GpuCiphertext &dest,
+                                   std::span<uint64_t> acc, int part,
+                                   std::size_t j, std::span<uint64_t> t) {
+    gpu_->gpu_ntt().forward(t, 1, table_span(j));
+    xgpu::FusionBuilder single = dyadic_group();
+    record_mod_down(single, dest, acc, part, j, t);
+    single.submit();
+}
+
+/// Records one limb's mod-down accumulation stage into `group`.
+void GpuEvaluator::record_mod_down(xgpu::FusionBuilder &group,
+                                   GpuCiphertext &dest,
+                                   std::span<uint64_t> acc, int part,
+                                   std::size_t j, std::span<const uint64_t> t) {
+    const std::size_t n = ctx_->n();
+    const Modulus &qj = ctx_->key_modulus()[j];
+    auto aj = acc.subspan(j * n, n);
+    auto dst = dest.component(static_cast<std::size_t>(part), j);
+    const auto inv_p = ctx_->inv_mod(ctx_->key_rns() - 1, j);
+    group.stage("ks_mod_down", n,
+                op_cost(CoreOp::SubMod) + op_cost(CoreOp::MulMod) +
+                    op_cost(CoreOp::AddMod),
+                4.0, [=](std::size_t k) {
+                    const uint64_t diff = util::sub_mod(aj[k], t[k], qj);
+                    dst[k] = util::add_mod(
+                        dst[k], util::mul_mod(diff, inv_p, qj), qj);
+                });
 }
 
 GpuCiphertext GpuEvaluator::relinearize(const GpuCiphertext &a,
@@ -374,11 +455,19 @@ GpuCiphertext GpuEvaluator::rescale(const GpuCiphertext &a) {
     GpuCiphertext out = allocate_ciphertext(
         *gpu_, a.size, a.rns - 1,
         a.scale / static_cast<double>(q_last.value()));
-    auto last_coeff = gpu_->allocate(n);
-    auto t_buf = gpu_->allocate(n);
+
+    // Fused, the per-limb scale steps submit as one kernel per limb group
+    // (the forward NTTs stay per limb), and the last-limb scratch merges
+    // with the temp block into a single allocation.
+    const bool fuse = gpu_->options().fuse_dyadic;
+    auto scratch = gpu_->allocate(fuse ? (last + 1) * n : n);
+    auto t_buf = fuse ? xgpu::DeviceBuffer{} : gpu_->allocate(n);
+    const auto t_at = [&](std::size_t j) {
+        return fuse ? scratch.span().subspan((j + 1) * n, n) : t_buf.span();
+    };
     for (std::size_t poly_i = 0; poly_i < a.size; ++poly_i) {
         const auto src_last = a.component(poly_i, last);
-        auto lc = last_coeff.span();
+        auto lc = scratch.span().first(n);
         submit_dyadic("rs_copy_last", n, 0.0, 2.0,
                       [=](std::size_t k) { lc[k] = src_last[k]; });
         gpu_->gpu_ntt().inverse(lc, 1, table_span(last));
@@ -386,27 +475,46 @@ GpuCiphertext GpuEvaluator::rescale(const GpuCiphertext &a) {
                       [=](std::size_t k) {
                           lc[k] = util::add_mod(lc[k], half, q_last);
                       });
+        xgpu::FusionBuilder reduce_group = dyadic_group();
+        xgpu::FusionBuilder divide_group = dyadic_group();
         for (std::size_t j = 0; j < last; ++j) {
             const Modulus &qj = ctx_->key_modulus()[j];
             const uint64_t half_mod = ctx_->half_mod(last, j);
-            auto t = t_buf.span();
-            submit_dyadic("rs_reduce", n, 4.0 + op_cost(CoreOp::SubMod), 2.0,
-                          [=](std::size_t k) {
-                              t[k] = util::sub_mod(
-                                  util::barrett_reduce_64(lc[k], qj), half_mod,
-                                  qj);
-                          });
-            gpu_->gpu_ntt().forward(t, 1, table_span(j));
+            auto t = t_at(j);
+            reduce_group.stage("rs_reduce", n, 4.0 + op_cost(CoreOp::SubMod),
+                               2.0,
+                               [=](std::size_t k) {
+                                   t[k] = util::sub_mod(
+                                       util::barrett_reduce_64(lc[k], qj),
+                                       half_mod, qj);
+                               });
+            if (!fuse) {
+                reduce_group.submit();
+                gpu_->gpu_ntt().forward(t, 1, table_span(j));
+            }
             const auto src = a.component(poly_i, j);
             auto dst = out.component(poly_i, j);
             const auto inv_q = ctx_->inv_mod(last, j);
-            submit_dyadic("rs_divide", n,
-                          op_cost(CoreOp::SubMod) + op_cost(CoreOp::MulMod),
-                          3.0,
-                          [=](std::size_t k) {
-                              dst[k] = util::mul_mod(
-                                  util::sub_mod(src[k], t[k], qj), inv_q, qj);
-                          });
+            divide_group.stage("rs_divide", n,
+                               op_cost(CoreOp::SubMod) +
+                                   op_cost(CoreOp::MulMod),
+                               3.0,
+                               [=](std::size_t k) {
+                                   dst[k] = util::mul_mod(
+                                       util::sub_mod(src[k], t[k], qj), inv_q,
+                                       qj);
+                               });
+            if (!fuse) {
+                divide_group.submit();
+            }
+        }
+        if (fuse) {
+            reduce_group.submit();
+            // One batched forward NTT across the contiguous per-limb
+            // temps (each slice under its own table; bit-exact).
+            gpu_->gpu_ntt().forward(scratch.span().subspan(n, last * n), 1,
+                                    ctx_->tables(last));
+            divide_group.submit();
         }
     }
     gpu_->maybe_sync();
@@ -440,20 +548,28 @@ GpuCiphertext GpuEvaluator::rotate(const GpuCiphertext &a, int step,
     auto rotated_c1 = gpu_->allocate(a.rns * n);
 
     // Galois permutation of both polynomials (a gather, poorly coalesced).
+    // Fused, the per-limb permutation kernels submit as one launch.
+    xgpu::FusionBuilder permute_group = dyadic_group();
     for (std::size_t r = 0; r < a.rns; ++r) {
         const auto c0 = a.component(0, r);
         const auto c1 = a.component(1, r);
         auto o0 = out.component(0, r);
         auto g1 = rotated_c1.span().subspan(r * n, n);
         const ckks::GaloisTool *tool = &galois_;
-        submit_dyadic("galois_permute", n, 6.0, 4.0,
-                      [=](std::size_t) { /* executed once below */ },
-                      false, 0.25);
+        permute_group.stage("galois_permute", n, 6.0, 4.0,
+                            [=](std::size_t) { /* executed once below */ },
+                            0.25);
+        if (!gpu_->options().fuse_dyadic) {
+            permute_group.submit();
+        }
         // The permutation itself is applied as a whole (table-driven).
         if (gpu_->queue().functional()) {
             tool->apply_ntt(c0, elt, o0);
             tool->apply_ntt(c1, elt, g1);
         }
+    }
+    if (gpu_->options().fuse_dyadic) {
+        permute_group.submit();
     }
     if (elt != 1) {
         switch_key_inplace(out, rotated_c1.span(), keys.key(elt));
@@ -489,10 +605,43 @@ GpuCiphertext GpuEvaluator::mul_lin_rs_modsw_add(const GpuCiphertext &a,
                                                  const GpuCiphertext &c,
                                                  const RelinKeys &keys) {
     GpuCiphertext prod = mul_lin_rs(a, b, keys);
-    GpuCiphertext c_down = mod_switch(c);
-    // Align scales for the addition (CKKS approximate-scale bookkeeping).
-    c_down.scale = prod.scale;
-    add_inplace(prod, c_down);
+    if (!gpu_->options().fuse_dyadic) {
+        GpuCiphertext c_down = mod_switch(c);
+        // Align scales for the addition (CKKS approximate-scale
+        // bookkeeping).
+        c_down.scale = prod.scale;
+        add_inplace(prod, c_down);
+        return prod;
+    }
+    // Fused tail: the mod-switched addend is gathered and added in one
+    // launch — the c_down intermediate ciphertext is never materialized
+    // (one fewer MemoryCache request, its write+read round trip saved).
+    util::require(c.rns == prod.rns + 1 && c.size == prod.size,
+                  "mod-switch-add: level mismatch");
+    const std::size_t n = prod.n;
+    const std::size_t new_rns = prod.rns;
+    const std::size_t src_rns = c.rns;
+    const std::size_t per_poly = new_rns * n;
+    const std::size_t count = prod.size * per_poly;
+    auto sp = prod.all();
+    const auto sc = c.all();
+    xgpu::FusionBuilder group = dyadic_group();
+    group.stage("mod_switch_copy", count, 0.0, 2.0, [](std::size_t) {
+             // Folded into the chained addition below, which gathers the
+             // addend limb directly instead of reading it back from a
+             // materialized c_down.
+         })
+        .then("he_add", op_cost(CoreOp::AddMod), 3.0,
+              [=, this](std::size_t i) {
+                  const std::size_t poly_i = i / per_poly;
+                  const std::size_t rest = i % per_poly;
+                  const Modulus &q = modulus_at(rest, n);
+                  sp[i] = util::add_mod(sp[i], sc[poly_i * src_rns * n + rest],
+                                        q);
+              },
+              /*shared_streams=*/2.0);
+    group.submit();
+    gpu_->maybe_sync();
     return prod;
 }
 

@@ -8,11 +8,20 @@
 // rotation.  The five routines benchmarked in Section IV-C (MulLin,
 // MulLinRS, SqrLinRS, MulLinRSModSwAdd, Rotate) are provided directly.
 //
+// With GpuOptions::fuse_dyadic (default on) the non-NTT segments route
+// through the xgpu FusionBuilder: the tensor-product partials become one
+// launch, the per-limb scale/reduce steps of rescale and key-switch
+// mod-down submit as one kernel per RNS limb group, and the routines'
+// scratch allocations merge — fewer launch overheads, less intermediate
+// traffic, fewer MemoryCache requests, identical ciphertexts
+// (tests/test_fusion.cpp proves bit-exactness differentially).
+//
 // Results are bit-exact against the CPU ckks::Evaluator (validated in
 // tests/test_gpu_evaluator.cpp).
 #pragma once
 
 #include "xehe/gpu_ciphertext.h"
+#include "xgpu/fusion.h"
 
 namespace xehe::core {
 
@@ -63,6 +72,15 @@ private:
                             std::span<const uint64_t> target,
                             const KSwitchKey &key);
 
+    /// NTT + mod-down tail of one (part, limb) key-switch step (unfused).
+    void finish_mod_down(GpuCiphertext &dest, std::span<uint64_t> acc,
+                         int part, std::size_t j, std::span<uint64_t> t);
+
+    /// Records one limb's mod-down accumulation stage into `group`.
+    void record_mod_down(xgpu::FusionBuilder &group, GpuCiphertext &dest,
+                         std::span<uint64_t> acc, int part, std::size_t j,
+                         std::span<const uint64_t> t);
+
     /// Submits an elementwise kernel over `elements` indices with
     /// `ops_per_element` int64 ops (already ISA-mode specific) and
     /// `streams` polynomial-sized memory streams.
@@ -70,6 +88,13 @@ private:
                        double ops_per_element, double streams,
                        std::function<void(std::size_t)> body,
                        bool is_ntt = false, double gmem_eff = 1.0);
+
+    /// Fresh fusion recorder over the context's queue, honoring
+    /// GpuOptions::fuse_dyadic.
+    xgpu::FusionBuilder dyadic_group() {
+        return xgpu::FusionBuilder(gpu_->queue(), gpu_->options().fuse_dyadic,
+                                   gpu_->options().wg_size);
+    }
 
     double op_cost(xgpu::CoreOp op) const {
         return xgpu::core_op_cost(op, gpu_->options().isa);

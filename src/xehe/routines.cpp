@@ -44,25 +44,30 @@ RoutineBench::RoutineBench(const ckks::CkksContext &host,
                            xgpu::DeviceSpec device,
                            GpuOptions options, bool functional, uint64_t seed)
     : host_(&host), gpu_(host, std::move(device), options), evaluator_(gpu_),
-      functional_(functional), keygen_(host, seed) {
+      functional_(functional), seed_(seed), keygen_(host, seed) {
     gpu_.set_functional(functional);
     relin_ = keygen_.create_relin_keys();
     const int steps[] = {1};
     galois_ = keygen_.create_galois_keys(steps);
 
-    input_a_ = make_input();
-    input_b_ = make_input();
-    input_c_ = make_input();
+    input_a_ = make_input(0);
+    input_b_ = make_input(1);
+    input_c_ = make_input(2);
 }
 
-GpuCiphertext RoutineBench::make_input(std::size_t size) {
+GpuCiphertext RoutineBench::make_input(std::size_t index, std::size_t size) {
     constexpr double kScale = 1099511627776.0;  // 2^40
     if (!functional_) {
         return allocate_ciphertext(gpu_, size, host_->max_level(), kScale);
     }
     ckks::CkksEncoder encoder(*host_);
-    ckks::Encryptor encryptor(*host_, keygen_.create_public_key());
-    std::mt19937_64 rng(host_->n());
+    // One encryptor per input with a seed derived from the bench seed and
+    // the input index: the slot values and the encryption noise of a, b
+    // and c come from disjoint RNG streams (the previous shared-seed
+    // scheme produced three identical ciphertexts).
+    ckks::Encryptor encryptor(*host_, keygen_.create_public_key(),
+                              seed_ + 0x9E3779B97F4A7C15ull * (index + 1));
+    std::mt19937_64 rng(seed_ ^ (0xD1B54A32D192ED03ull * (index + 1)));
     std::uniform_real_distribution<double> dist(-1.0, 1.0);
     std::vector<double> values(host_->slots());
     for (auto &v : values) {

@@ -47,13 +47,22 @@ public:
 
     GpuContext &gpu() noexcept { return gpu_; }
 
+    /// The three GPU-resident inputs (0 = a, 1 = b, 2 = c).  In functional
+    /// mode they are pairwise-independent encryptions: each input's slot
+    /// values and encryption randomness come from their own RNG streams,
+    /// seeded from the bench seed and the input index.
+    const GpuCiphertext &input(std::size_t i) const {
+        return i == 0 ? input_a_ : i == 1 ? input_b_ : input_c_;
+    }
+
 private:
-    GpuCiphertext make_input(std::size_t size = 2);
+    GpuCiphertext make_input(std::size_t index, std::size_t size = 2);
 
     const ckks::CkksContext *host_;
     GpuContext gpu_;
     GpuEvaluator evaluator_;
     bool functional_;
+    uint64_t seed_;
     ckks::KeyGenerator keygen_;
     ckks::RelinKeys relin_;
     ckks::GaloisKeys galois_;

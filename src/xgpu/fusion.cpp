@@ -1,0 +1,165 @@
+#include "xgpu/fusion.h"
+
+#include <utility>
+
+#include "util/common.h"
+
+namespace xehe::xgpu {
+
+namespace {
+
+/// KernelStats of one stage as the unfused pipeline would report it; the
+/// fused launch records exactly these as constituents, so per-name
+/// aggregates (launches, alu_ops, bytes) are invariant under fusion.
+KernelStats standalone_stats(const FusedKernel::Stage &s,
+                             std::size_t wg_size) {
+    KernelStats stats;
+    stats.name = s.name;
+    stats.is_ntt = false;
+    stats.alu_ops = s.ops_per_element * static_cast<double>(s.count);
+    stats.asm_sensitive = 0.0;  // ops are already ISA-mode specific
+    stats.gmem_bytes = s.streams * 8.0 * static_cast<double>(s.count);
+    stats.gmem_eff = s.gmem_eff;
+    stats.work_items = static_cast<double>(s.count);
+    stats.wg_size = wg_size;
+    return stats;
+}
+
+/// Compact fused-kernel tag: repeated constituents collapse to "name xK".
+std::string fused_name(const std::vector<FusedKernel::Stage> &stages) {
+    std::string name = "fused{";
+    for (std::size_t i = 0; i < stages.size();) {
+        std::size_t run = i;
+        while (run < stages.size() && stages[run].name == stages[i].name) {
+            ++run;
+        }
+        if (i > 0) {
+            name += '+';
+        }
+        name += stages[i].name;
+        if (run - i > 1) {
+            name += " x" + std::to_string(run - i);
+        }
+        i = run;
+    }
+    name += '}';
+    return name;
+}
+
+}  // namespace
+
+FusedKernel::FusedKernel(std::vector<Stage> stages, std::size_t wg_size)
+    : stages_(std::move(stages)), wg_size_(wg_size) {
+    util::require(!stages_.empty(), "fused kernel needs at least one stage");
+    util::require(!stages_.front().chained,
+                  "the first stage cannot chain onto a previous one");
+
+    double effective_bytes = 0.0;
+    for (std::size_t i = 0; i < stages_.size(); ++i) {
+        Stage &s = stages_[i];
+        if (s.chained) {
+            s.count = stages_[i - 1].count;
+            columns_.back().last = i + 1;
+        } else {
+            columns_.push_back(Column{domain_, s.count, i, i + 1});
+            domain_ += s.count;
+        }
+        constituent_stats_.push_back(standalone_stats(s, wg_size_));
+        merged_.alu_ops += constituent_stats_.back().alu_ops;
+        const double kept = s.streams - s.shared_streams;
+        util::require(kept >= 0.0, "shared_streams exceeds stage streams");
+        effective_bytes += kept * 8.0 * static_cast<double>(s.count) /
+                           (s.gmem_eff > 0.0 ? s.gmem_eff : 1.0);
+    }
+    merged_.name = fused_name(stages_);
+    merged_.is_ntt = false;
+    merged_.asm_sensitive = 0.0;
+    // Per-stage coalescing efficiencies are folded into the byte count.
+    merged_.gmem_bytes = effective_bytes;
+    merged_.gmem_eff = 1.0;
+    merged_.work_items = static_cast<double>(domain_);
+    merged_.wg_size = wg_size_;
+}
+
+NdRange FusedKernel::range() const {
+    return {util::div_round_up(domain_, wg_size_), wg_size_};
+}
+
+void FusedKernel::run(WorkGroup &wg) const {
+    const std::size_t base = wg.group_id() * wg_size_;
+    wg.for_each_item([&](std::size_t local) {
+        const std::size_t i = base + local;
+        if (i >= domain_) {
+            return;
+        }
+        // Locate the column owning this index; columns are few (one per
+        // RNS limb group), so a linear scan is fine.
+        for (const Column &col : columns_) {
+            if (i < col.offset + col.count) {
+                const std::size_t elem = i - col.offset;
+                for (std::size_t s = col.first; s < col.last; ++s) {
+                    stages_[s].body(elem);
+                }
+                return;
+            }
+        }
+    });
+}
+
+FusionBuilder &FusionBuilder::stage(std::string name, std::size_t count,
+                                    double ops_per_element, double streams,
+                                    std::function<void(std::size_t)> body,
+                                    double gmem_eff) {
+    FusedKernel::Stage s;
+    s.name = std::move(name);
+    s.count = count;
+    s.ops_per_element = ops_per_element;
+    s.streams = streams;
+    s.gmem_eff = gmem_eff;
+    s.body = std::move(body);
+    s.chained = false;
+    stages_.push_back(std::move(s));
+    return *this;
+}
+
+FusionBuilder &FusionBuilder::then(std::string name, double ops_per_element,
+                                   double streams,
+                                   std::function<void(std::size_t)> body,
+                                   double shared_streams, double gmem_eff) {
+    util::require(!stages_.empty(), "then() requires a preceding stage()");
+    FusedKernel::Stage s;
+    s.name = std::move(name);
+    s.count = stages_.back().count;
+    s.ops_per_element = ops_per_element;
+    s.streams = streams;
+    s.shared_streams = shared_streams;
+    s.gmem_eff = gmem_eff;
+    s.body = std::move(body);
+    s.chained = true;
+    stages_.push_back(std::move(s));
+    return *this;
+}
+
+Event FusionBuilder::submit(std::span<const Event> deps) {
+    util::require(!stages_.empty(), "submit() on an empty fusion group");
+    Event last;
+    if (fuse_ && stages_.size() > 1) {
+        const FusedKernel kernel(std::move(stages_), wg_size_);
+        last = queue_->submit(kernel, deps);
+    } else {
+        // Unfused (or single-stage) pipeline: one launch per stage, each
+        // charged its full standalone traffic and launch overhead.
+        for (std::size_t i = 0; i < stages_.size(); ++i) {
+            FusedKernel::Stage &s = stages_[i];
+            const KernelStats stats = standalone_stats(s, wg_size_);
+            const ElementwiseKernel kernel(s.name, s.count, std::move(s.body),
+                                           stats, wg_size_);
+            last = queue_->submit(kernel, i == 0 ? deps
+                                                 : std::span<const Event>{});
+        }
+    }
+    stages_.clear();
+    return last;
+}
+
+}  // namespace xehe::xgpu

@@ -1,0 +1,114 @@
+// Kernel fusion for dyadic element-wise chains (the paper's non-NTT
+// segments of MulLin / MulLinRS / MulLinRSModSwAdd).
+//
+// A FusionBuilder records a graph of element-wise stages and submits it as
+// ONE FusedKernel launch: a single launch overhead instead of one per
+// stage, merged global-memory traffic (re-reads and intermediate
+// round-trips that fusion keeps in registers are discounted via
+// `shared_streams`), and a larger work-item domain — sub-saturated
+// per-limb kernels gain occupancy when their limbs batch into one launch.
+//
+// Two composition forms, freely mixed inside one group:
+//  * stage(...)  — starts a new index domain [0, count): horizontal fusion
+//                  of independent per-limb kernels ("one kernel per RNS
+//                  limb group").
+//  * then(...)   — chains onto the previous stage's domain: the body runs
+//                  at the same element index immediately after the previous
+//                  stage's body (vertical fusion of a dyadic chain), which
+//                  is legal exactly because dyadic ops have no cross-index
+//                  dependencies.
+//
+// The fused launch reports its constituent op names to the profiler
+// (Kernel::constituents), so the aggregate kernel-name multiset — and the
+// NTT / non-NTT split — is invariant under fusion; only the physical
+// submission count and the simulated time change.  With fusion disabled
+// the builder degrades to one ElementwiseKernel per stage, bit-identically
+// reproducing the unfused pipeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "xgpu/queue.h"
+
+namespace xehe::xgpu {
+
+/// A recorded chain of dyadic stages executed as one launch.
+class FusedKernel final : public Kernel {
+public:
+    struct Stage {
+        std::string name;
+        std::size_t count = 0;       ///< index domain (chained: previous's)
+        double ops_per_element = 0.0;///< int64 ops, already ISA-specific
+        double streams = 0.0;        ///< 8-byte streams as if standalone
+        double shared_streams = 0.0; ///< streams fusion keeps in registers
+        double gmem_eff = 1.0;
+        std::function<void(std::size_t)> body;
+        bool chained = false;        ///< runs on the previous stage's domain
+    };
+
+    FusedKernel(std::vector<Stage> stages, std::size_t wg_size);
+
+    NdRange range() const override;
+    void run(WorkGroup &wg) const override;
+    KernelStats stats() const override { return merged_; }
+    std::span<const KernelStats> constituents() const override {
+        return {constituent_stats_.data(), constituent_stats_.size()};
+    }
+
+private:
+    /// A maximal run of chained stages sharing one index domain.
+    struct Column {
+        std::size_t offset = 0;  ///< start in the fused global domain
+        std::size_t count = 0;
+        std::size_t first = 0;   ///< index range into stages_
+        std::size_t last = 0;    ///< one past the final stage of the column
+    };
+
+    std::vector<Stage> stages_;
+    std::vector<Column> columns_;
+    std::vector<KernelStats> constituent_stats_;
+    KernelStats merged_;
+    std::size_t wg_size_;
+    std::size_t domain_ = 0;
+};
+
+/// Records dyadic stages and submits them fused (one launch) or unfused
+/// (one ElementwiseKernel per stage, the pre-fusion pipeline).
+class FusionBuilder {
+public:
+    /// `fuse` selects the submission mode; `queue` must outlive the
+    /// builder.  `wg_size` applies to every launch the builder makes.
+    FusionBuilder(Queue &queue, bool fuse, std::size_t wg_size = 256)
+        : queue_(&queue), fuse_(fuse), wg_size_(wg_size) {}
+
+    bool fusing() const noexcept { return fuse_; }
+    std::size_t stage_count() const noexcept { return stages_.size(); }
+
+    /// Starts a new index domain [0, count).
+    FusionBuilder &stage(std::string name, std::size_t count,
+                         double ops_per_element, double streams,
+                         std::function<void(std::size_t)> body,
+                         double gmem_eff = 1.0);
+
+    /// Chains onto the previous stage's domain: same element index, runs
+    /// after the previous body.  `shared_streams` of this stage's traffic
+    /// are re-reads (or intermediate round-trips) fusion eliminates.
+    FusionBuilder &then(std::string name, double ops_per_element,
+                        double streams, std::function<void(std::size_t)> body,
+                        double shared_streams = 0.0, double gmem_eff = 1.0);
+
+    /// Submits the recorded stages after `deps` and clears the builder.
+    /// Fused: one FusedKernel (deps gate the single launch).  Unfused: one
+    /// kernel per stage (deps gate the first; the queue is in-order).
+    /// Returns the completion event of the last launch.
+    Event submit(std::span<const Event> deps = {});
+
+private:
+    Queue *queue_;
+    bool fuse_;
+    std::size_t wg_size_;
+    std::vector<FusedKernel::Stage> stages_;
+};
+
+}  // namespace xehe::xgpu

@@ -14,6 +14,7 @@
 #pragma once
 
 #include <functional>
+#include <span>
 #include <vector>
 
 #include "xgpu/costmodel.h"
@@ -71,6 +72,46 @@ public:
 
     /// Work description for the cost model.
     virtual KernelStats stats() const = 0;
+
+    /// Constituent ops of a fused launch, each as the unfused pipeline
+    /// would have reported it.  Non-empty means the profiler attributes
+    /// this launch's time to these entries (preserving the kernel-name
+    /// multiset across fusion) instead of to stats().name.  Empty for
+    /// ordinary kernels.
+    virtual std::span<const KernelStats> constituents() const { return {}; }
+};
+
+/// View of a batched kernel as `slices` homogeneous sub-launches: the
+/// profiler records one entry per slice (an even split of the work), so
+/// per-name launch counts are invariant under how many slices one physical
+/// launch covers — the same attribution contract fused dyadic kernels
+/// follow.  Used by the batched NTT dispatcher, whose nd-range covers
+/// every (poly, rns) transform of a call.
+class SlicedKernel final : public Kernel {
+public:
+    SlicedKernel(const Kernel &inner, std::size_t slices) : inner_(&inner) {
+        KernelStats per = inner.stats();
+        const double s = static_cast<double>(slices > 0 ? slices : 1);
+        per.alu_ops /= s;
+        per.gmem_bytes /= s;
+        per.slm_bytes /= s;
+        per.shuffle_ops /= s;
+        per.spill_bytes /= s;
+        per.work_items /= s;
+        constituents_.assign(slices > 0 ? slices : 1, per);
+    }
+
+    NdRange range() const override { return inner_->range(); }
+    std::size_t slm_words() const override { return inner_->slm_words(); }
+    void run(WorkGroup &wg) const override { inner_->run(wg); }
+    KernelStats stats() const override { return inner_->stats(); }
+    std::span<const KernelStats> constituents() const override {
+        return {constituents_.data(), constituents_.size()};
+    }
+
+private:
+    const Kernel *inner_;
+    std::vector<KernelStats> constituents_;
 };
 
 /// A generic elementwise kernel over `count` indices: the workhorse for the

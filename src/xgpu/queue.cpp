@@ -13,7 +13,32 @@ double Queue::submit(const Kernel &kernel) {
         });
     }
     const double time_ns = model_.kernel_time_ns(kernel.stats(), cfg_);
-    profiler_.record(kernel.stats(), time_ns);
+    const std::span<const KernelStats> parts = kernel.constituents();
+    if (parts.empty()) {
+        profiler_.record(kernel.stats(), time_ns);
+    } else {
+        // A fused launch: attribute its time to the constituent op names
+        // (preserving the kernel-name multiset), splitting proportionally
+        // to what each op would have cost standalone, launch overhead
+        // excluded — the whole point of fusion is that only one is paid.
+        ExecConfig no_launch = cfg_;
+        no_launch.charge_launch_overhead = false;
+        double weight_sum = 0.0;
+        std::vector<double> weights;
+        weights.reserve(parts.size());
+        for (const KernelStats &p : parts) {
+            weights.push_back(model_.kernel_time_ns(p, no_launch));
+            weight_sum += weights.back();
+        }
+        for (std::size_t i = 0; i < parts.size(); ++i) {
+            const double share =
+                weight_sum > 0.0
+                    ? time_ns * weights[i] / weight_sum
+                    : time_ns / static_cast<double>(parts.size());
+            profiler_.record(parts[i], share);
+        }
+    }
+    profiler_.count_submission();
     clock_ns_ += time_ns;
     return time_ns;
 }

@@ -88,9 +88,12 @@ public:
         total_ns_ += other.total_ns_;
         total_alu_ops_ += other.total_alu_ops_;
         ntt_ns_ += other.ntt_ns_;
+        submissions_ += other.submissions_;
     }
 
-    /// Total kernel launches across every kernel class.
+    /// Total kernel launches across every kernel class.  A fused launch
+    /// counts once per constituent op, so this is invariant under fusion;
+    /// submissions() counts physical launches.
     std::size_t launches() const noexcept {
         std::size_t count = 0;
         for (const auto &[name, e] : entries_) {
@@ -99,11 +102,17 @@ public:
         return count;
     }
 
+    /// Physical kernel submissions (launch overheads paid).  Fusion lowers
+    /// this below launches(); without fusion the two are equal.
+    std::size_t submissions() const noexcept { return submissions_; }
+    void count_submission() noexcept { ++submissions_; }
+
     void reset() {
         entries_.clear();
         total_ns_ = 0.0;
         total_alu_ops_ = 0.0;
         ntt_ns_ = 0.0;
+        submissions_ = 0;
     }
 
 private:
@@ -111,6 +120,7 @@ private:
     double total_ns_ = 0.0;
     double total_alu_ops_ = 0.0;
     double ntt_ns_ = 0.0;
+    std::size_t submissions_ = 0;
 };
 
 class Queue {

@@ -283,9 +283,31 @@ TEST(GpuEvaluator, BaselineOptionsDescribeThePaperBaseline) {
     EXPECT_EQ(opts.ntt_variant, xehe::ntt::NttVariant::NaiveRadix2);
     EXPECT_EQ(opts.isa, xg::IsaMode::Compiler);
     EXPECT_FALSE(opts.fuse_mad_mod);
+    EXPECT_FALSE(opts.fuse_dyadic);
     EXPECT_FALSE(opts.use_memory_cache);
     EXPECT_FALSE(opts.async);
     EXPECT_EQ(opts.tiles, 1);
+}
+
+TEST(GpuEvaluator, RoutineBenchInputsAreIndependent) {
+    // Regression: the bench used to seed all three inputs' slot values
+    // and encryption noise from one shared stream, producing three
+    // identical ciphertexts — every binary routine then ran on a == b.
+    const xc::CkksContext host(xc::EncryptionParameters::create(1024, 2));
+    xr::RoutineBench bench(host, xg::device1(), small_gpu_options(),
+                           /*functional=*/true, /*seed=*/42);
+    const auto a = xr::download(bench.gpu(), bench.input(0));
+    const auto b = xr::download(bench.gpu(), bench.input(1));
+    const auto c = xr::download(bench.gpu(), bench.input(2));
+    EXPECT_NE(a.data, b.data);
+    EXPECT_NE(a.data, c.data);
+    EXPECT_NE(b.data, c.data);
+
+    // Still deterministic: the same bench seed reproduces the inputs.
+    xr::RoutineBench again(host, xg::device1(), small_gpu_options(),
+                           /*functional=*/true, /*seed=*/42);
+    EXPECT_EQ(xr::download(again.gpu(), again.input(0)).data, a.data);
+    EXPECT_EQ(xr::download(again.gpu(), again.input(1)).data, b.data);
 }
 
 TEST(GpuEvaluator, SubNegateMatchCpu) {

@@ -186,6 +186,76 @@ TEST(Scheduler, IndependentWorkOverlaps) {
     }
 }
 
+TEST(Event, WaitingTwiceChargesTheStallOnce) {
+    // Re-waiting an already-honored event must be free: the first wait
+    // advanced this queue past the event, so the second one never stalls.
+    xg::Scheduler sched(xg::device1());
+    auto producer = make_kernel("producer", 1e8);
+    const xg::Event produced = sched.submit(0, producer);
+    sched.queue(1).wait_for(produced);
+    const double after_first = sched.queue(1).clock_ns();
+    EXPECT_DOUBLE_EQ(after_first,
+                     produced.ready_ns + sched.spec().cross_queue_sync_ns);
+    sched.queue(1).wait_for(produced);
+    EXPECT_DOUBLE_EQ(sched.queue(1).clock_ns(), after_first);
+}
+
+TEST(Event, WaitBeforeAnyRecordIsFree) {
+    // An event recorded at a queue's initial timeline head (nothing
+    // submitted yet) is ready at t=0: waiting on it from anywhere must
+    // not stall or charge the sync overhead.
+    xg::Scheduler sched(xg::device1());
+    const xg::Event head = sched.queue(0).record_event();
+    EXPECT_TRUE(head.valid());
+    EXPECT_DOUBLE_EQ(head.ready_ns, 0.0);
+    sched.queue(1).wait_for(head);
+    EXPECT_DOUBLE_EQ(sched.queue(1).clock_ns(), 0.0);
+    // Same-queue self-wait is free as well (the queue is in-order).
+    sched.queue(0).wait_for(head);
+    EXPECT_DOUBLE_EQ(sched.queue(0).clock_ns(), 0.0);
+}
+
+TEST(Scheduler, SingleTileDeviceCollapsesToOneQueue) {
+    xg::DeviceSpec spec = xg::device1();
+    spec.tiles = 1;
+    // Any requested queue count clamps to the single physical tile.
+    xg::Scheduler sched(spec, {}, 4);
+    ASSERT_EQ(sched.queue_count(), 1u);
+    EXPECT_EQ(sched.least_loaded(), 0u);
+    auto k = make_kernel("k", 5e7);
+    for (int i = 0; i < 4; ++i) {
+        sched.submit(sched.least_loaded(), k);
+    }
+    // One queue: no overlap, makespan equals the serialized time.
+    EXPECT_DOUBLE_EQ(sched.makespan_ns(), sched.busy_ns());
+    const double before = sched.makespan_ns();
+    sched.wait_all();
+    EXPECT_DOUBLE_EQ(sched.queue(0).clock_ns(),
+                     before + sched.spec().host_sync_overhead_ns);
+}
+
+TEST(EvaluatorPool, MoreSessionsThanLanesWrapAround) {
+    xc::GpuEvaluatorPool pool(small_host(), xg::device1());
+    ASSERT_EQ(pool.lane_count(), 2u);
+    EXPECT_EQ(pool.lane_of(4), 0u);
+    EXPECT_EQ(pool.lane_of(5), 1u);
+    EXPECT_EQ(&pool.session_evaluator(5), &pool.session_evaluator(1));
+
+    // A 5-session batch over 2 lanes serves every session exactly once.
+    xc::BatchWorkload workload;
+    workload.sessions = 5;
+    workload.rounds = 1;
+    workload.matmul_tiles = 1;
+    workload.functional = false;
+    const auto report =
+        xc::run_batch_serving(small_host(), xg::device1(), {}, workload, 0);
+    EXPECT_EQ(report.sessions, 5u);
+    EXPECT_EQ(report.queues, 2u);
+    EXPECT_EQ(report.ops, 5u * 6u);
+    // Odd session count over two lanes still overlaps (3+2 split).
+    EXPECT_GT(report.busy_ms, report.makespan_ms);
+}
+
 TEST(EvaluatorPool, LanePinningRoundRobin) {
     xc::GpuEvaluatorPool pool(small_host(), xg::device1());
     ASSERT_EQ(pool.lane_count(), 2u);
