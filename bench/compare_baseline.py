@@ -10,8 +10,15 @@ higher-is-better (regression = current below baseline / (1 + tol));
 everything else is a time (regression = current above baseline * (1 + tol)).
 
 The baseline holds only the *deterministic simulated* metrics emitted by
-fig_multitile_batch --json — wall-clock microbenchmark numbers vary too
-much across CI runners to gate on.  Exits 1 on any regression.
+the fig_* --json benches — wall-clock microbenchmark numbers vary too
+much across CI runners to gate on.
+
+Exits 1 on any regression, on any baseline metric missing from the
+current run (a deleted bench must not silently disable its gate), and on
+an empty or malformed baseline or current file (a truncated artifact must
+not read as "all 0 metrics within tolerance").  Metrics present in the
+current run but absent from the baseline are listed as ungated so new
+benches get baseline entries.
 """
 
 import argparse
@@ -22,7 +29,10 @@ import sys
 def load_metrics(path):
     with open(path) as f:
         data = json.load(f)
-    return {b["name"]: float(b["real_time"]) for b in data["benchmarks"]}
+    benchmarks = data.get("benchmarks")
+    if not isinstance(benchmarks, list) or not benchmarks:
+        raise SystemExit(f"error: {path} has no benchmark entries")
+    return {b["name"]: float(b["real_time"]) for b in benchmarks}
 
 
 def main():
@@ -65,6 +75,11 @@ def main():
 
     for d in drifts:
         print(f"note: {d}")
+    ungated = sorted(set(current) - set(baseline))
+    if ungated:
+        print(f"note: {len(ungated)} metric(s) have no baseline entry "
+              f"(not gated): {', '.join(ungated[:8])}"
+              f"{', ...' if len(ungated) > 8 else ''}")
     if failures:
         print(f"\n{len(failures)} regression(s) beyond "
               f"{args.tolerance * 100.0:.0f}% tolerance:", file=sys.stderr)

@@ -1,0 +1,155 @@
+// Serving-latency sweep over the encrypted-inference frontend: a
+// deterministic request trace (mixed Section IV-C routines + matmul tile
+// jobs, seeded pseudo-Poisson arrivals) is driven through InferenceServer
+// at every batch-size x lane-count point on the dual-tile Device1, and the
+// per-request enqueue/dispatch/complete timestamps are folded into
+// p50/p95/p99 latency and throughput — the request-level serving metrics
+// the makespan-only benches cannot express.
+//
+// `--json <path>` writes the deterministic simulated metrics; CI's
+// bench-smoke job merges them into the baseline gate.  Exits non-zero
+// unless dual-lane throughput reaches >= 1.5x single-lane at the default
+// batch size.  N = 32K, L = 8, cost-only (the paper's operating point).
+#include <cstring>
+#include <random>
+
+#include "bench_common.h"
+#include "serve/server.h"
+
+namespace {
+
+/// One deterministic trace: `count` requests round-robined over
+/// `sessions`, cycling the five routines with every sixth request a
+/// two-tile matmul job.  Requests arrive in bursts of six sharing one
+/// timestamp (the traffic shape dynamic batching exists for), with burst
+/// spacing ~Exp(mean) from the seed via inverse-CDF on raw mt19937_64
+/// words, so the trace is identical on every platform.
+std::vector<xehe::serve::Request> make_trace(std::size_t count,
+                                             std::size_t sessions,
+                                             double mean_burst_gap_ns,
+                                             uint64_t seed) {
+    std::mt19937_64 rng(seed);
+    std::vector<xehe::serve::Request> trace;
+    trace.reserve(count);
+    double arrival = 0.0;
+    for (std::size_t i = 0; i < count; ++i) {
+        xehe::serve::Request req;
+        req.session_id = i % sessions;
+        if (i % 6 == 5) {
+            req.op = xehe::serve::Op::MatmulTile;
+            req.matmul_tiles = 2;
+        } else {
+            req.op = static_cast<xehe::serve::Op>(i % 5);
+        }
+        req.cost_only = true;
+        if (i % 6 == 0) {
+            const double u =
+                (static_cast<double>(rng() >> 11) + 0.5) * 0x1p-53;
+            arrival += -mean_burst_gap_ns * std::log(u);
+        }
+        req.arrival_ns = arrival;
+        trace.push_back(std::move(req));
+    }
+    return trace;
+}
+
+}  // namespace
+
+int main(int argc, char **argv) {
+    using namespace bench;
+    using xehe::serve::InferenceServer;
+    using xehe::serve::LatencyStats;
+    using xehe::serve::ServerConfig;
+
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+
+    const xehe::ckks::CkksContext host(
+        xehe::ckks::EncryptionParameters::create(32768, 8));
+    const auto spec = xehe::xgpu::device1();
+    xehe::core::GpuOptions opts;
+    opts.isa = IsaMode::InlineAsm;
+
+    // Shared tenant keys, as in run_batch_serving.
+    xehe::ckks::KeyGenerator keygen(host, 99);
+    const auto relin = keygen.create_relin_keys();
+    const int steps[] = {1};
+    const auto galois = keygen.create_galois_keys(steps);
+
+    constexpr std::size_t kRequests = 48;
+    constexpr std::size_t kSessions = 16;
+    constexpr double kMeanBurstGapNs = 12.0e6;  // saturates both lanes
+    constexpr uint64_t kSeed = 20260729;
+
+    print_header("Serving latency: batch size x lane count on Device1",
+                 "Section III-D as a request-level serving pipeline");
+    std::printf("%6s%7s%10s%10s%10s%10s%12s%9s\n", "lanes", "batch",
+                "p50(ms)", "p95(ms)", "p99(ms)", "mean(ms)", "thru(rps)",
+                "batches");
+
+    const int lane_counts[] = {1, 0};  // 0 = one lane per tile (2 on Device1)
+    const std::size_t batch_sizes[] = {1, 2, 4, 8};
+    std::vector<JsonMetric> metrics;
+    double throughput_b8[2] = {0.0, 0.0};
+
+    for (int li = 0; li < 2; ++li) {
+        for (const std::size_t batch : batch_sizes) {
+            ServerConfig cfg;
+            cfg.max_batch = batch;
+            cfg.batch_window_ns = 2.0e6;  // 2 ms admission window
+            cfg.queue_count = lane_counts[li];
+            cfg.functional = false;
+            InferenceServer server(host, spec, opts, cfg);
+            server.set_keys(relin, galois);
+            for (auto &req : make_trace(kRequests, kSessions,
+                                        kMeanBurstGapNs, kSeed)) {
+                server.submit(std::move(req));
+            }
+            const auto responses = server.run();
+            const LatencyStats stats = server.stats();
+            if (stats.requests != responses.size() ||
+                stats.requests != kRequests) {
+                std::fprintf(stderr, "error: %zu of %zu requests served\n",
+                             stats.requests, kRequests);
+                return 2;
+            }
+            const std::size_t lanes = server.lane_count();
+            std::printf("%6zu%7zu%10.3f%10.3f%10.3f%10.3f%12.1f%9zu\n",
+                        lanes, batch, stats.p50_ms, stats.p95_ms,
+                        stats.p99_ms, stats.mean_ms, stats.throughput_rps,
+                        stats.batches);
+
+            const std::string prefix = "serving/l" + std::to_string(lanes) +
+                                       "/b" + std::to_string(batch);
+            if (batch == 8) {
+                metrics.push_back({prefix + "/p50_ms", stats.p50_ms, "ms"});
+                metrics.push_back({prefix + "/p95_ms", stats.p95_ms, "ms"});
+                metrics.push_back({prefix + "/p99_ms", stats.p99_ms, "ms"});
+                metrics.push_back({prefix + "/throughput_rps",
+                                   stats.throughput_rps, "rps"});
+                throughput_b8[li] = stats.throughput_rps;
+            } else if (batch == 1 || batch == 4) {
+                metrics.push_back({prefix + "/p95_ms", stats.p95_ms, "ms"});
+            }
+        }
+    }
+
+    const double speedup = throughput_b8[1] / throughput_b8[0];
+    std::printf("\nmulti-lane serving throughput speedup (batch 8): %.2fx\n",
+                speedup);
+    metrics.push_back({"serving/multilane_speedup", speedup, "x"});
+
+    if (!json_path.empty()) {
+        if (!write_json(json_path, metrics, "fig_serving_latency",
+                        spec.name.c_str())) {
+            return 2;
+        }
+        std::printf("wrote %zu metrics to %s\n", metrics.size(),
+                    json_path.c_str());
+    }
+    return speedup >= 1.5 ? 0 : 1;
+}

@@ -1,39 +1,57 @@
 #!/usr/bin/env python3
 """Merge several google-benchmark-layout JSON files into one artifact.
 
-Usage: merge_bench_json.py OUT.json IN1.json [IN2.json ...]
+Usage: merge_bench_json.py [--require] OUT.json IN1.json [IN2.json ...]
 
-Inputs that do not exist are skipped with a note (the wall-clock micro
-benches are optional — they are only built when google-benchmark is
-installed), so the CI artifact degrades gracefully.
+By default, inputs that do not exist are skipped with a note (the
+wall-clock micro benches are optional — they are only built when
+google-benchmark is installed), so the CI artifact degrades gracefully.
+
+With --require, a missing or entry-less input is a hard error: the gated
+merge (the file compare_baseline.py diffs against the baseline) must fail
+loudly when a gated bench was deleted or failed to write its JSON, instead
+of silently dropping that bench's metrics from the gate.
 """
 
+import argparse
 import json
 import os
 import sys
 
 
 def main():
-    if len(sys.argv) < 3:
-        print(__doc__, file=sys.stderr)
-        return 2
-    out_path, inputs = sys.argv[1], sys.argv[2:]
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--require", action="store_true",
+                        help="fail on missing or empty inputs")
+    parser.add_argument("out")
+    parser.add_argument("inputs", nargs="+")
+    args = parser.parse_args()
+
     merged = {"context": {"sources": []}, "benchmarks": []}
-    for path in inputs:
+    for path in args.inputs:
         if not os.path.exists(path):
+            if args.require:
+                print(f"error: required input {path} not found",
+                      file=sys.stderr)
+                return 1
             print(f"note: {path} not found, skipping")
             continue
         with open(path) as f:
             data = json.load(f)
+        entries = data.get("benchmarks", [])
+        if args.require and not entries:
+            print(f"error: required input {path} has no benchmark entries",
+                  file=sys.stderr)
+            return 1
         merged["context"]["sources"].append(
             {"file": os.path.basename(path),
              "context": data.get("context", {})})
-        merged["benchmarks"].extend(data.get("benchmarks", []))
-    with open(out_path, "w") as f:
+        merged["benchmarks"].extend(entries)
+    with open(args.out, "w") as f:
         json.dump(merged, f, indent=2)
         f.write("\n")
     print(f"wrote {len(merged['benchmarks'])} entries from "
-          f"{len(merged['context']['sources'])} file(s) to {out_path}")
+          f"{len(merged['context']['sources'])} file(s) to {args.out}")
     return 0
 
 

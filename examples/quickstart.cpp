@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "ckks/encoder.h"
+#include "wire/wire.h"
 #include "xehe/gpu_evaluator.h"
 
 int main() {
@@ -21,20 +22,40 @@ int main() {
     // 2. Host-side scheme objects (key generation stays on the CPU).
     ckks::CkksEncoder encoder(context);
     ckks::KeyGenerator keygen(context);
-    ckks::Encryptor encryptor(context, keygen.create_public_key());
+    ckks::Encryptor encryptor(context, keygen.create_public_key(),
+                              keygen.secret_key());
     ckks::Decryptor decryptor(context, keygen.secret_key());
     const auto relin_keys = keygen.create_relin_keys();
 
-    // 3. Encode + encrypt two vectors.
+    // 3. Encode + encrypt two vectors.  Symmetric encryption records the
+    //    PRNG seed of its uniform component, so the wire format ships the
+    //    seed instead of half the ciphertext (seed compression).
     std::vector<double> a(encoder.slots()), b(encoder.slots());
     for (std::size_t i = 0; i < a.size(); ++i) {
         a[i] = 0.001 * static_cast<double>(i % 1000);
         b[i] = 1.5 - 0.0005 * static_cast<double>(i % 2000);
     }
-    const auto ct_a = encryptor.encrypt(
+    const auto fresh_a = encryptor.encrypt_symmetric(
         encoder.encode(std::span<const double>(a), scale));
-    const auto ct_b = encryptor.encrypt(
+    const auto fresh_b = encryptor.encrypt_symmetric(
         encoder.encode(std::span<const double>(b), scale));
+
+    // 3b. Save -> load round trip through the versioned wire format, the
+    //     client -> server hop of the serving pipeline.  Everything past
+    //     this line works on the reloaded ciphertexts.
+    ckks::Ciphertext expanded_a = fresh_a;
+    expanded_a.a_seeded = false;  // size of the same ciphertext, unseeded
+    std::printf("wire: ciphertext %zu bytes seeded, %zu expanded (%.2fx); "
+                "relin keys %zu bytes\n",
+                wire::serialized_bytes(fresh_a),
+                wire::serialized_bytes(expanded_a),
+                static_cast<double>(wire::serialized_bytes(expanded_a)) /
+                    static_cast<double>(wire::serialized_bytes(fresh_a)),
+                wire::serialized_bytes(relin_keys));
+    const auto ct_a =
+        wire::load_ciphertext(wire::serialize(fresh_a), context);
+    const auto ct_b =
+        wire::load_ciphertext(wire::serialize(fresh_b), context);
 
     // 4. GPU context: radix-8 SLM NTT, inline assembly, memory cache,
     //    asynchronous pipeline — the paper's full optimization stack.

@@ -6,6 +6,11 @@ Encryptor::Encryptor(const CkksContext &context, PublicKey public_key,
                      uint64_t seed)
     : context_(&context), public_key_(std::move(public_key)), rng_(seed) {}
 
+Encryptor::Encryptor(const CkksContext &context, PublicKey public_key,
+                     SecretKey secret_key, uint64_t seed)
+    : context_(&context), public_key_(std::move(public_key)),
+      secret_key_(std::move(secret_key)), has_secret_key_(true), rng_(seed) {}
+
 Ciphertext Encryptor::encrypt(const Plaintext &plain) {
     const std::size_t n = context_->n();
     const std::size_t rns = plain.rns;
@@ -53,6 +58,52 @@ Ciphertext Encryptor::encrypt(const Plaintext &plain) {
         const auto m = plain.component(r);
         for (std::size_t k = 0; k < n; ++k) {
             c0[k] = util::add_mod(c0[k], m[k], q);
+        }
+    }
+    return ct;
+}
+
+Ciphertext Encryptor::encrypt_symmetric(const Plaintext &plain) {
+    const std::size_t n = context_->n();
+    const std::size_t rns = plain.rns;
+    util::require(has_secret_key_,
+                  "encrypt_symmetric requires the secret-key constructor");
+    util::require(plain.ntt_form, "encrypt expects NTT-form plaintext");
+    util::require(rns >= 1 && rns <= context_->max_level(),
+                  "bad plaintext level");
+
+    Ciphertext ct;
+    ct.resize(n, 2, rns);
+    ct.ntt_form = true;
+    ct.scale = plain.scale;
+
+    // c1 = a, uniform in the NTT domain, expanded from a fresh seed.
+    const std::span<const Modulus> moduli(context_->key_modulus().data(), rns);
+    ct.a_seed = rng_.uniform_uint64();
+    util::expand_uniform_seeded(ct.poly(1), moduli, n, ct.a_seed);
+    ct.a_seeded = true;
+
+    // c0 = -(a·s + e) + m.
+    std::vector<int> e_coeffs(n);
+    for (auto &c : e_coeffs) {
+        c = rng_.cbd_error();
+    }
+    std::vector<uint64_t> e(n);
+    for (std::size_t r = 0; r < rns; ++r) {
+        const auto &q = context_->key_modulus()[r];
+        const auto &table = context_->table(r);
+        for (std::size_t k = 0; k < n; ++k) {
+            e[k] = util::signed_to_mod(e_coeffs[k], q);
+        }
+        ntt::ntt_forward(e, table);
+        const auto sk = std::span<const uint64_t>(secret_key_.data)
+                            .subspan(r * n, n);
+        const auto a = ct.component(1, r);
+        const auto m = plain.component(r);
+        auto c0 = ct.component(0, r);
+        for (std::size_t k = 0; k < n; ++k) {
+            const uint64_t as = util::mad_mod(a[k], sk[k], e[k], q);
+            c0[k] = util::add_mod(util::negate_mod(as, q), m[k], q);
         }
     }
     return ct;

@@ -19,6 +19,7 @@ Ciphertext Evaluator::add(const Ciphertext &a, const Ciphertext &b) const {
     check_compatible(a, b);
     util::require(a.size == b.size, "size mismatch");
     Ciphertext out = a;
+    out.a_seeded = false;  // poly(1) is rewritten below
     const auto moduli =
         std::span<const Modulus>(context_->key_modulus()).subspan(0, a.rns);
     for (std::size_t p = 0; p < a.size; ++p) {
@@ -31,6 +32,7 @@ Ciphertext Evaluator::sub(const Ciphertext &a, const Ciphertext &b) const {
     check_compatible(a, b);
     util::require(a.size == b.size, "size mismatch");
     Ciphertext out = a;
+    out.a_seeded = false;  // poly(1) is rewritten below
     const auto moduli =
         std::span<const Modulus>(context_->key_modulus()).subspan(0, a.rns);
     for (std::size_t p = 0; p < a.size; ++p) {
@@ -41,6 +43,7 @@ Ciphertext Evaluator::sub(const Ciphertext &a, const Ciphertext &b) const {
 
 Ciphertext Evaluator::negate(const Ciphertext &a) const {
     Ciphertext out = a;
+    out.a_seeded = false;  // poly(1) is rewritten below
     const auto moduli =
         std::span<const Modulus>(context_->key_modulus()).subspan(0, a.rns);
     for (std::size_t p = 0; p < a.size; ++p) {
@@ -63,6 +66,7 @@ Ciphertext Evaluator::multiply_plain(const Ciphertext &a,
                                      const Plaintext &p) const {
     util::require(a.rns == p.rns && a.n == p.n, "level mismatch");
     Ciphertext out = a;
+    out.a_seeded = false;  // poly(1) is rewritten below
     out.scale = a.scale * p.scale;
     const auto moduli =
         std::span<const Modulus>(context_->key_modulus()).subspan(0, a.rns);

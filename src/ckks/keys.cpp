@@ -34,14 +34,15 @@ KeyGenerator::KeyGenerator(const CkksContext &context, uint64_t seed)
                          [&] { return rng_.ternary(); });
 }
 
-void KeyGenerator::encrypt_zero_symmetric(std::span<uint64_t> c0,
-                                          std::span<uint64_t> c1) {
+uint64_t KeyGenerator::encrypt_zero_symmetric(std::span<uint64_t> c0,
+                                              std::span<uint64_t> c1) {
     const std::size_t n = context_->n();
     const std::size_t k = context_->key_rns();
-    // Uniform a directly in the NTT domain (the NTT is a bijection on R_q).
-    for (std::size_t r = 0; r < k; ++r) {
-        rng_.uniform_poly(c1.subspan(r * n, n), context_->key_modulus()[r]);
-    }
+    // Uniform a directly in the NTT domain (the NTT is a bijection on
+    // R_q), expanded from a per-ciphertext seed so the wire layer can ship
+    // the seed instead of the polynomial.
+    const uint64_t a_seed = rng_.uniform_uint64();
+    util::expand_uniform_seeded(c1, context_->key_modulus(), n, a_seed);
     const auto e =
         sample_small_ntt(*context_, k, [&] { return rng_.cbd_error(); });
     // c0 = -(a·s + e)
@@ -52,13 +53,15 @@ void KeyGenerator::encrypt_zero_symmetric(std::span<uint64_t> c0,
             c0[i] = util::negate_mod(util::add_mod(as, e[i], q), q);
         }
     }
+    return a_seed;
 }
 
 PublicKey KeyGenerator::create_public_key() {
     PublicKey pk;
     pk.ct.resize(context_->n(), 2, context_->key_rns());
     pk.ct.ntt_form = true;
-    encrypt_zero_symmetric(pk.ct.poly(0), pk.ct.poly(1));
+    pk.ct.a_seed = encrypt_zero_symmetric(pk.ct.poly(0), pk.ct.poly(1));
+    pk.ct.a_seeded = true;
     return pk;
 }
 
@@ -75,7 +78,8 @@ KSwitchKey KeyGenerator::make_kswitch_key(std::span<const uint64_t> target) {
         Ciphertext &key = result.keys[i];
         key.resize(n, 2, k);
         key.ntt_form = true;
-        encrypt_zero_symmetric(key.poly(0), key.poly(1));
+        key.a_seed = encrypt_zero_symmetric(key.poly(0), key.poly(1));
+        key.a_seeded = true;
         // Add P · t into RNS component i of c0 only.
         const auto &qi = context_->key_modulus()[i];
         const uint64_t factor = util::barrett_reduce_64(p, qi);

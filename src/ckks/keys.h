@@ -54,8 +54,11 @@ public:
     GaloisKeys create_conjugation_keys();
 
 private:
-    /// (c0, c1) = (-(a·s + e), a) over the full key base, NTT form.
-    void encrypt_zero_symmetric(std::span<uint64_t> c0, std::span<uint64_t> c1);
+    /// (c0, c1) = (-(a·s + e), a) over the full key base, NTT form.  The
+    /// uniform `a` is expanded from a freshly drawn seed, which is
+    /// returned so the caller can mark the ciphertext seed-compressible.
+    uint64_t encrypt_zero_symmetric(std::span<uint64_t> c0,
+                                    std::span<uint64_t> c1);
     KSwitchKey make_kswitch_key(std::span<const uint64_t> target);
 
     const CkksContext *context_;

@@ -35,11 +35,21 @@ struct Ciphertext {
     double scale = 1.0;
     bool ntt_form = true;
 
+    /// When `a_seeded`, poly(1) equals util::expand_uniform_seeded(a_seed)
+    /// over the active moduli, and wire serialization ships the seed
+    /// instead of the polynomial (seed compression).  Only key generation
+    /// and symmetric encryption set this; any code that writes poly(1)
+    /// without going through resize() must clear it.
+    uint64_t a_seed = 0;
+    bool a_seeded = false;
+
     void resize(std::size_t n_, std::size_t size_, std::size_t rns_) {
         n = n_;
         size = size_;
         rns = rns_;
         data.assign(size * rns * n, 0);
+        a_seed = 0;
+        a_seeded = false;
     }
 
     std::span<uint64_t> poly(std::size_t p) {

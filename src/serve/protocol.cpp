@@ -1,0 +1,135 @@
+#include "serve/protocol.h"
+
+#include <cmath>
+
+namespace xehe::serve {
+
+namespace {
+
+void check(bool condition, const char *what) {
+    if (!condition) {
+        throw wire::WireError(what);
+    }
+}
+
+}  // namespace
+
+const char *op_name(Op op) {
+    switch (op) {
+        case Op::MulLin: return "MulLin";
+        case Op::MulLinRS: return "MulLinRS";
+        case Op::SqrLinRS: return "SqrLinRS";
+        case Op::MulLinRSModSwAdd: return "MulLinRSModSwAdd";
+        case Op::Rotate: return "Rotate";
+        case Op::MatmulTile: return "MatmulTile";
+    }
+    return "unknown";
+}
+
+std::size_t op_arity(Op op) {
+    switch (op) {
+        case Op::MulLin:
+        case Op::MulLinRS:
+        case Op::MatmulTile: return 2;
+        case Op::SqrLinRS:
+        case Op::Rotate: return 1;
+        case Op::MulLinRSModSwAdd: return 3;
+    }
+    return 0;
+}
+
+void save(wire::Writer &w, const Request &req) {
+    w.u8(static_cast<uint8_t>(wire::Tag::Request));
+    w.u64(req.session_id);
+    w.u8(static_cast<uint8_t>(req.op));
+    w.u64(static_cast<uint64_t>(static_cast<int64_t>(req.rotate_step)));
+    w.u64(req.matmul_tiles);
+    w.f64(req.arrival_ns);
+    w.u8(req.cost_only ? 1 : 0);
+    w.u64(req.cost_only_level);
+    w.u8(static_cast<uint8_t>(req.inputs.size()));
+    for (const auto &input : req.inputs) {
+        w.u64(input.size());
+        w.bytes(input);
+    }
+}
+
+void load(wire::Reader &r, Request &req) {
+    check(r.u8() == static_cast<uint8_t>(wire::Tag::Request),
+          "wire: expected Request");
+    req.session_id = r.u64();
+    const uint8_t op = r.u8();
+    check(op <= static_cast<uint8_t>(Op::MatmulTile), "wire: bad op");
+    req.op = static_cast<Op>(op);
+    req.rotate_step = static_cast<int>(static_cast<int64_t>(r.u64()));
+    req.matmul_tiles = r.u64();
+    check(req.matmul_tiles >= 1 && req.matmul_tiles <= (1u << 20),
+          "wire: bad matmul tile count");
+    req.arrival_ns = r.f64();
+    check(std::isfinite(req.arrival_ns) && req.arrival_ns >= 0.0,
+          "wire: bad arrival time");
+    const uint8_t cost_only = r.u8();
+    check(cost_only <= 1, "wire: bad flag byte");
+    req.cost_only = cost_only != 0;
+    req.cost_only_level = r.u64();
+    check(req.cost_only_level <= 64, "wire: bad cost-only level");
+    const uint8_t count = r.u8();
+    check(count <= 3, "wire: bad input count");
+    check(req.cost_only ? count == 0 : count == op_arity(req.op),
+          "wire: input count does not match op");
+    req.inputs.clear();
+    req.inputs.reserve(count);
+    for (uint8_t i = 0; i < count; ++i) {
+        const uint64_t len = r.u64();
+        const auto view = r.bytes(len);  // bounds-checked
+        req.inputs.emplace_back(view.begin(), view.end());
+    }
+}
+
+void save(wire::Writer &w, const Response &resp) {
+    w.u8(static_cast<uint8_t>(wire::Tag::Response));
+    w.u64(resp.session_id);
+    w.u8(resp.ok ? 1 : 0);
+    w.u64(resp.error.size());
+    w.bytes(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t *>(resp.error.data()),
+        resp.error.size()));
+    w.u64(resp.result.size());
+    w.bytes(resp.result);
+    w.f64(resp.enqueue_ns);
+    w.f64(resp.dispatch_ns);
+    w.f64(resp.complete_ns);
+}
+
+void load(wire::Reader &r, Response &resp) {
+    check(r.u8() == static_cast<uint8_t>(wire::Tag::Response),
+          "wire: expected Response");
+    resp.session_id = r.u64();
+    const uint8_t ok = r.u8();
+    check(ok <= 1, "wire: bad flag byte");
+    resp.ok = ok != 0;
+    const uint64_t error_len = r.u64();
+    check(error_len <= (1u << 16), "wire: oversized error string");
+    const auto error = r.bytes(error_len);
+    resp.error.assign(error.begin(), error.end());
+    const uint64_t result_len = r.u64();
+    const auto result = r.bytes(result_len);
+    resp.result.assign(result.begin(), result.end());
+    resp.enqueue_ns = r.f64();
+    resp.dispatch_ns = r.f64();
+    resp.complete_ns = r.f64();
+    for (const double t : {resp.enqueue_ns, resp.dispatch_ns,
+                           resp.complete_ns}) {
+        check(std::isfinite(t) && t >= 0.0, "wire: bad timestamp");
+    }
+}
+
+Request load_request(std::span<const uint8_t> buffer) {
+    return wire::load_enveloped<Request>(buffer);
+}
+
+Response load_response(std::span<const uint8_t> buffer) {
+    return wire::load_enveloped<Response>(buffer);
+}
+
+}  // namespace xehe::serve

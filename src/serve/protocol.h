@@ -1,0 +1,72 @@
+// Client/server message types for the encrypted-inference frontend: a
+// Request names one of the five Section IV-C routines (or a matmul tile
+// job) and carries its operand ciphertexts as opaque wire buffers; a
+// Response carries the serialized result plus the request's
+// enqueue/dispatch/complete timestamps off the simulated clock.  Both
+// serialize through the src/wire envelope, so a full client -> server ->
+// client round trip moves nothing but validated bytes.
+#pragma once
+
+#include "wire/wire.h"
+
+namespace xehe::serve {
+
+/// The server-side operations a request can name: the five benchmarked
+/// routines of Section IV-C plus the matmul tile-accumulation job of
+/// Section IV-E.
+enum class Op : uint8_t {
+    MulLin = 0,
+    MulLinRS = 1,
+    SqrLinRS = 2,
+    MulLinRSModSwAdd = 3,
+    Rotate = 4,
+    MatmulTile = 5,
+};
+
+const char *op_name(Op op);
+
+/// Operand ciphertexts required by an op (1 to 3).
+std::size_t op_arity(Op op);
+
+struct Request {
+    uint64_t session_id = 0;
+    Op op = Op::MulLin;
+    int rotate_step = 1;          ///< Op::Rotate only
+    uint64_t matmul_tiles = 1;    ///< Op::MatmulTile: accumulations chained
+    /// Arrival time on the simulated clock; admission orders by this.
+    double arrival_ns = 0.0;
+    /// Cost-only requests carry no ciphertext bytes: the server fabricates
+    /// operands at `cost_only_level` (0 = max level) and charges the
+    /// upload, matching the paper's N = 32K cost-only operating point.
+    bool cost_only = false;
+    uint64_t cost_only_level = 0;
+    /// Operand ciphertexts, each a self-contained wire envelope
+    /// (wire::serialize of a ckks::Ciphertext), in op order.
+    std::vector<std::vector<uint8_t>> inputs;
+};
+
+struct Response {
+    uint64_t session_id = 0;
+    bool ok = false;
+    std::string error;            ///< set when !ok
+    /// Serialized result ciphertext (functional servers only).
+    std::vector<uint8_t> result;
+    // Timestamps on the simulated clock (ns).
+    double enqueue_ns = 0.0;      ///< request arrival at admission
+    double dispatch_ns = 0.0;     ///< first kernel submitted on the lane
+    double complete_ns = 0.0;     ///< lane timeline after result download
+
+    double latency_ns() const noexcept { return complete_ns - enqueue_ns; }
+    double queueing_ns() const noexcept { return dispatch_ns - enqueue_ns; }
+};
+
+// wire::serialize / serialized_bytes pick these up by ADL.
+void save(wire::Writer &w, const Request &req);
+void save(wire::Writer &w, const Response &resp);
+void load(wire::Reader &r, Request &req);
+void load(wire::Reader &r, Response &resp);
+
+Request load_request(std::span<const uint8_t> buffer);
+Response load_response(std::span<const uint8_t> buffer);
+
+}  // namespace xehe::serve

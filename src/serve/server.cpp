@@ -1,0 +1,260 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace xehe::serve {
+
+namespace {
+
+constexpr double kScale = 1099511627776.0;  // 2^40
+
+/// Cost-only operand: allocated at level, upload charged, never encrypted
+/// (the paper's N = 32K operating point, as in run_batch_serving).
+core::GpuCiphertext fabricate(core::GpuContext &gpu, std::size_t size,
+                              std::size_t rns, double scale) {
+    auto ct = core::allocate_ciphertext(gpu, size, rns, scale);
+    gpu.queue().transfer(ct.all().size() * sizeof(uint64_t));
+    return ct;
+}
+
+double percentile(const std::vector<double> &sorted_ns, double q) {
+    if (sorted_ns.empty()) {
+        return 0.0;
+    }
+    // Nearest-rank: smallest value with at least q of the mass below it.
+    const double rank = std::ceil(q * static_cast<double>(sorted_ns.size()));
+    const std::size_t index =
+        std::min(sorted_ns.size() - 1,
+                 static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
+    return sorted_ns[index];
+}
+
+}  // namespace
+
+InferenceServer::InferenceServer(const ckks::CkksContext &host,
+                                 xgpu::DeviceSpec spec,
+                                 core::GpuOptions options,
+                                 ServerConfig config)
+    : host_(&host), config_(config),
+      pool_(host, std::move(spec), options, config.queue_count) {
+    // max_batch = 0 would make the batching loop admit nothing and spin.
+    config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+    pool_.set_functional(config_.functional);
+    // Lane construction uploads NTT tables; serving time starts at zero.
+    pool_.scheduler().reset_clocks();
+}
+
+void InferenceServer::set_keys(ckks::RelinKeys relin, ckks::GaloisKeys galois) {
+    relin_ = std::move(relin);
+    galois_ = std::move(galois);
+    has_relin_ = !relin_.key.keys.empty();
+    has_galois_ = !galois_.keys.empty();
+}
+
+void InferenceServer::submit(std::span<const uint8_t> request_bytes) {
+    try {
+        submit(load_request(request_bytes));
+    } catch (const wire::WireError &e) {
+        Response resp;
+        resp.ok = false;
+        resp.error = e.what();
+        parse_failures_.push_back(std::move(resp));
+        ++failed_;
+    }
+}
+
+void InferenceServer::submit(Request request) {
+    pending_.push_back(std::move(request));
+}
+
+std::vector<Response> InferenceServer::run() {
+    std::vector<Response> responses = std::move(parse_failures_);
+    parse_failures_.clear();
+    responses.reserve(responses.size() + pending_.size());
+
+    // Admission order is arrival order (stable for ties: submission order).
+    std::stable_sort(pending_.begin(), pending_.end(),
+                     [](const Request &a, const Request &b) {
+                         return a.arrival_ns < b.arrival_ns;
+                     });
+
+    std::size_t i = 0;
+    while (i < pending_.size()) {
+        // The batch opens when its first request arrives (or when the
+        // previous batch dispatched, if the queue is backed up).
+        const double batch_open =
+            std::max(admission_clock_ns_, pending_[i].arrival_ns);
+        std::size_t j = i;
+        while (j < pending_.size() && j - i < config_.max_batch &&
+               pending_[j].arrival_ns <= batch_open) {
+            ++j;
+        }
+        double dispatch_time = batch_open;
+        if (j - i < config_.max_batch && config_.batch_window_ns > 0.0) {
+            // Dynamic batching: hold the partial batch open for the
+            // admission window, taking late arrivals.
+            const double deadline = batch_open + config_.batch_window_ns;
+            while (j < pending_.size() && j - i < config_.max_batch &&
+                   pending_[j].arrival_ns <= deadline) {
+                dispatch_time = std::max(dispatch_time,
+                                         pending_[j].arrival_ns);
+                ++j;
+            }
+            if (j - i == config_.max_batch) {
+                // Filled early: dispatch the moment the last slot filled.
+            } else if (j < pending_.size()) {
+                // Still partial with more traffic coming: the server waited
+                // out the whole window before giving up on filling.
+                dispatch_time = deadline;
+            }
+            // Partial batch at the end of the trace: dispatch at the last
+            // arrival — there is nothing left to wait for.
+        }
+
+        for (std::size_t k = i; k < j; ++k) {
+            responses.push_back(execute(pending_[k], dispatch_time));
+            const Response &resp = responses.back();
+            if (resp.ok) {
+                latencies_ns_.push_back(resp.latency_ns());
+                last_complete_ns_ =
+                    std::max(last_complete_ns_, resp.complete_ns);
+                if (first_enqueue_ns_ < 0.0 ||
+                    resp.enqueue_ns < first_enqueue_ns_) {
+                    first_enqueue_ns_ = resp.enqueue_ns;
+                }
+            } else {
+                ++failed_;
+            }
+        }
+        ++batches_;
+        admission_clock_ns_ = dispatch_time;
+        i = j;
+    }
+    pending_.clear();
+    return responses;
+}
+
+Response InferenceServer::execute(const Request &request,
+                                  double dispatch_time) {
+    Response resp;
+    resp.session_id = request.session_id;
+    resp.enqueue_ns = request.arrival_ns;
+
+    const std::size_t lane = pool_.lane_of(request.session_id);
+    core::GpuContext &gpu = pool_.context(lane);
+    core::GpuEvaluator &evaluator = pool_.evaluator(lane);
+
+    // Kernels of this request start no earlier than its batch dispatch;
+    // a busy lane pushes the start further (queueing delay).
+    gpu.queue().advance_to(dispatch_time);
+    resp.dispatch_ns = gpu.queue().clock_ns();
+
+    try {
+        const bool needs_relin =
+            request.op != Op::Rotate && request.op != Op::MatmulTile;
+        util::require(!needs_relin || has_relin_,
+                      "relin keys not registered");
+        util::require(request.op != Op::Rotate || has_galois_,
+                      "galois keys not registered");
+
+        // Operands: deserialize + upload, or fabricate for cost-only.
+        const std::size_t arity = op_arity(request.op);
+        std::vector<core::GpuCiphertext> inputs;
+        inputs.reserve(arity);
+        if (request.cost_only) {
+            std::size_t rns = request.cost_only_level == 0
+                                  ? host_->max_level()
+                                  : request.cost_only_level;
+            rns = std::min(rns, host_->max_level());
+            for (std::size_t a = 0; a < arity; ++a) {
+                inputs.push_back(fabricate(gpu, 2, rns, kScale));
+            }
+        } else {
+            util::require(request.inputs.size() == arity,
+                          "input count does not match op");
+            for (const auto &bytes : request.inputs) {
+                inputs.push_back(
+                    core::upload(gpu, wire::load_ciphertext(bytes, *host_)));
+            }
+        }
+
+        core::GpuCiphertext result;
+        switch (request.op) {
+            case Op::MulLin:
+                result = evaluator.mul_lin(inputs[0], inputs[1], relin_);
+                break;
+            case Op::MulLinRS:
+                result = evaluator.mul_lin_rs(inputs[0], inputs[1], relin_);
+                break;
+            case Op::SqrLinRS:
+                result = evaluator.sqr_lin_rs(inputs[0], relin_);
+                break;
+            case Op::MulLinRSModSwAdd:
+                result = evaluator.mul_lin_rs_modsw_add(inputs[0], inputs[1],
+                                                        inputs[2], relin_);
+                break;
+            case Op::Rotate:
+                result = evaluator.rotate(inputs[0], request.rotate_step,
+                                          galois_);
+                break;
+            case Op::MatmulTile: {
+                // One output tile of the encrypted matmul: a chain of
+                // fused multiply-accumulates into one accumulator,
+                // strictly ordered on the session's lane (Section IV-E).
+                result = core::allocate_ciphertext(
+                    gpu, 3, inputs[0].rns,
+                    inputs[0].scale * inputs[1].scale);
+                for (uint64_t t = 0; t < request.matmul_tiles; ++t) {
+                    evaluator.multiply_acc(inputs[0], inputs[1], result);
+                }
+                break;
+            }
+        }
+
+        if (config_.functional) {
+            // Download blocks the lane (the Decrypt-side synchronization
+            // of Fig. 2) and the response carries the result bytes.
+            resp.result = wire::serialize(core::download(gpu, result));
+        } else {
+            gpu.queue().transfer(result.all().size() * sizeof(uint64_t));
+        }
+        resp.ok = true;
+    } catch (const std::exception &e) {
+        resp.ok = false;
+        resp.error = e.what();
+    }
+    resp.complete_ns = gpu.queue().clock_ns();
+    return resp;
+}
+
+LatencyStats InferenceServer::stats() const {
+    LatencyStats stats;
+    stats.requests = latencies_ns_.size();
+    stats.failed = failed_;
+    stats.batches = batches_;
+    if (latencies_ns_.empty()) {
+        return stats;
+    }
+    std::vector<double> sorted = latencies_ns_;
+    std::sort(sorted.begin(), sorted.end());
+    stats.p50_ms = percentile(sorted, 0.50) * 1e-6;
+    stats.p95_ms = percentile(sorted, 0.95) * 1e-6;
+    stats.p99_ms = percentile(sorted, 0.99) * 1e-6;
+    stats.max_ms = sorted.back() * 1e-6;
+    double sum = 0.0;
+    for (const double v : sorted) {
+        sum += v;
+    }
+    stats.mean_ms = sum / static_cast<double>(sorted.size()) * 1e-6;
+    const double window_ns = last_complete_ns_ - std::max(first_enqueue_ns_,
+                                                          0.0);
+    stats.makespan_ms = window_ns * 1e-6;
+    stats.throughput_rps = window_ns > 0.0
+                               ? static_cast<double>(stats.requests) /
+                                     (window_ns * 1e-9)
+                               : 0.0;
+    return stats;
+}
+
+}  // namespace xehe::serve

@@ -1,0 +1,99 @@
+// Request-level serving frontend over the batched evaluator pool: the
+// encode -> encrypt -> serialize -> dispatch -> respond pipeline that turns
+// the multi-queue scheduler into a client/server system.
+//
+// Clients submit wire-serialized Requests; the server parses them into an
+// admission queue, forms dynamic batches (dispatch when the batch fills or
+// when the admission window expires), deserializes the operand
+// ciphertexts, and runs each request on its session's lane of a
+// GpuEvaluatorPool — so one session's chain stays in-order while distinct
+// sessions overlap across tiles (Section III-D applied per request).
+// Every response carries enqueue/dispatch/complete timestamps off the
+// simulated clock; the server aggregates them into p50/p95/p99 latency and
+// throughput, the serving metrics makespan-only reporting cannot express.
+#pragma once
+
+#include "serve/protocol.h"
+#include "xehe/evaluator_pool.h"
+
+namespace xehe::serve {
+
+struct ServerConfig {
+    /// Dispatch a batch as soon as this many requests are admitted...
+    /// (0 is treated as 1: every request dispatches on its own).
+    std::size_t max_batch = 8;
+    /// ...or when the admission window expires with a partial batch
+    /// (simulated ns).  0 disables the wait: partial batches dispatch
+    /// immediately.
+    double batch_window_ns = 100000.0;
+    /// Pool lanes (0 = one per tile of the device).
+    int queue_count = 0;
+    /// Execute kernels and return real results; false = cost-only (the
+    /// N = 32K sweep operating point), responses carry no result bytes.
+    bool functional = true;
+};
+
+/// Latency/throughput aggregate over every request served so far.
+struct LatencyStats {
+    std::size_t requests = 0;   ///< completed successfully
+    std::size_t failed = 0;
+    std::size_t batches = 0;
+    double p50_ms = 0.0;
+    double p95_ms = 0.0;
+    double p99_ms = 0.0;
+    double mean_ms = 0.0;
+    double max_ms = 0.0;
+    /// Serving window: first enqueue to last completion (simulated).
+    double makespan_ms = 0.0;
+    double throughput_rps = 0.0;  ///< requests / makespan
+};
+
+class InferenceServer {
+public:
+    InferenceServer(const ckks::CkksContext &host, xgpu::DeviceSpec spec,
+                    core::GpuOptions options, ServerConfig config = {});
+
+    /// Registers the tenant's evaluation keys (shared across lanes, as in
+    /// run_batch_serving: one scheme, many sessions).
+    void set_keys(ckks::RelinKeys relin, ckks::GaloisKeys galois);
+
+    std::size_t lane_count() const noexcept { return pool_.lane_count(); }
+    const ServerConfig &config() const noexcept { return config_; }
+
+    /// Admission from bytes: parses the envelope and enqueues.  A buffer
+    /// that fails validation is answered immediately with a failed
+    /// Response instead of crashing the server.
+    void submit(std::span<const uint8_t> request_bytes);
+    void submit(Request request);
+
+    /// Drains the admission queue through the lanes in dynamic batches and
+    /// returns one Response per submitted request, in dispatch order
+    /// (parse failures first).
+    std::vector<Response> run();
+
+    LatencyStats stats() const;
+
+private:
+    Response execute(const Request &request, double dispatch_time);
+
+    const ckks::CkksContext *host_;
+    ServerConfig config_;
+    core::GpuEvaluatorPool pool_;
+    ckks::RelinKeys relin_;
+    ckks::GaloisKeys galois_;
+    bool has_relin_ = false;
+    bool has_galois_ = false;
+
+    std::vector<Request> pending_;
+    std::vector<Response> parse_failures_;
+    double admission_clock_ns_ = 0.0;
+
+    // Lifetime aggregates for stats().
+    std::vector<double> latencies_ns_;
+    std::size_t failed_ = 0;
+    std::size_t batches_ = 0;
+    double first_enqueue_ns_ = -1.0;
+    double last_complete_ns_ = 0.0;
+};
+
+}  // namespace xehe::serve

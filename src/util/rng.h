@@ -17,19 +17,10 @@ public:
 
     uint64_t uniform_uint64() { return engine_(); }
 
-    /// Uniform value in [0, q).
-    uint64_t uniform_mod(const Modulus &q) {
-        std::uniform_int_distribution<uint64_t> dist(0, q.value() - 1);
-        return dist(engine_);
-    }
-
-    /// Fills `out` with uniform residues mod q.
-    void uniform_poly(std::span<uint64_t> out, const Modulus &q) {
-        std::uniform_int_distribution<uint64_t> dist(0, q.value() - 1);
-        for (auto &x : out) {
-            x = dist(engine_);
-        }
-    }
+    // Uniform residue sampling lives in expand_uniform_seeded below: the
+    // seed-compressed wire format must re-expand identically everywhere,
+    // so nothing may sample uniforms through the implementation-defined
+    // std::uniform_int_distribution.
 
     /// Samples a ternary coefficient in {-1, 0, 1}, returned as a signed int.
     int ternary() {
@@ -53,6 +44,37 @@ public:
 private:
     std::mt19937_64 engine_;
 };
+
+/// Expands `seed` into uniform residues mod `moduli[r]` for each of the
+/// `moduli.size()` components of one RNS polynomial (n words each), writing
+/// component r into out[r*n .. r*n+n).
+///
+/// This is the expansion behind wire seed compression: the uniform `a`
+/// component of fresh keys and symmetric ciphertexts travels as its seed
+/// and is regenerated on load, so the expansion must be reproducible
+/// everywhere.  It therefore uses rejection sampling on raw mt19937_64
+/// words (the engine's output sequence is fully specified by the standard)
+/// instead of std::uniform_int_distribution, whose algorithm is
+/// implementation-defined and may differ across standard libraries.
+inline void expand_uniform_seeded(std::span<uint64_t> out,
+                                  std::span<const Modulus> moduli,
+                                  std::size_t n, uint64_t seed) {
+    std::mt19937_64 engine(seed);
+    for (std::size_t r = 0; r < moduli.size(); ++r) {
+        const uint64_t q = moduli[r].value();
+        // Largest multiple of q representable in 64 bits; values at or
+        // above it are rejected so that x % q is exactly uniform.
+        const uint64_t limit =
+            ~uint64_t{0} - (~uint64_t{0} % q);
+        for (std::size_t k = 0; k < n; ++k) {
+            uint64_t x = engine();
+            while (x >= limit) {
+                x = engine();
+            }
+            out[r * n + k] = x % q;
+        }
+    }
+}
 
 /// Maps a signed small value into [0, q) (centered representation).
 inline uint64_t signed_to_mod(int value, const Modulus &q) {

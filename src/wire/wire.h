@@ -1,0 +1,218 @@
+// Versioned, endian-stable binary wire format for the CKKS scheme objects
+// that cross a process boundary in the serving pipeline: modulus chains,
+// encryption parameters, plaintexts, ciphertexts and the three key types.
+//
+// Layout: every top-level object travels in an envelope
+//
+//   u32 magic "XEHE" | u16 version | u16 reserved | u64 payload_len |
+//   payload (tagged body) | u64 FNV-1a(payload)
+//
+// with all integers little-endian regardless of host byte order.  The
+// trailing checksum plus strict bounds/validity checks on every field mean
+// a truncated or bit-flipped buffer is rejected with a typed WireError —
+// deserialization never reads out of bounds and never constructs an
+// object that violates the scheme's invariants.
+//
+// Seed compression: the uniform `a` component (poly 1) of fresh keys and
+// symmetric ciphertexts is replaced on the wire by the 8-byte PRNG seed it
+// was expanded from (util::expand_uniform_seeded) and regenerated on load,
+// roughly halving the wire size of every fresh key and ciphertext.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "ckks/keys.h"
+
+namespace xehe::wire {
+
+/// Typed deserialization failure: truncation, bad magic/version/tag,
+/// checksum mismatch, or a structurally invalid field.
+class WireError : public std::runtime_error {
+public:
+    explicit WireError(const std::string &what) : std::runtime_error(what) {}
+};
+
+inline constexpr uint32_t kMagic = 0x45484558u;  ///< "XEHE", little-endian
+inline constexpr uint16_t kVersion = 1;
+/// Envelope header: magic + version + reserved + payload length.
+inline constexpr std::size_t kHeaderBytes = 16;
+/// Envelope overhead: 16-byte header + 8-byte payload checksum.
+inline constexpr std::size_t kEnvelopeBytes = 24;
+
+enum class Tag : uint8_t {
+    Modulus = 1,
+    ModulusChain = 2,
+    Parameters = 3,
+    Plaintext = 4,
+    Ciphertext = 5,
+    SecretKey = 6,
+    PublicKey = 7,
+    KSwitchKey = 8,
+    RelinKeys = 9,
+    GaloisKeys = 10,
+    // 11/12 are reserved for serve::Request / serve::Response.
+    Request = 11,
+    Response = 12,
+};
+
+/// Little-endian byte sink.  The sizing() variant only counts, which is
+/// how serialized_bytes gets exact numbers without allocating.
+class Writer {
+public:
+    Writer() = default;
+    static Writer sizing() {
+        Writer w;
+        w.counting_ = true;
+        return w;
+    }
+
+    void u8(uint8_t v);
+    void u16(uint16_t v);
+    void u32(uint32_t v);
+    void u64(uint64_t v);
+    void f64(double v);
+    void words(std::span<const uint64_t> v);
+    void bytes(std::span<const uint8_t> v);
+    /// Overwrites 8 already-written bytes at `offset` (envelope length
+    /// back-patching).  Not available on a sizing writer.
+    void patch_u64(std::size_t offset, uint64_t v);
+
+    std::size_t size() const noexcept {
+        return counting_ ? count_ : buf_.size();
+    }
+    bool counting() const noexcept { return counting_; }
+    void reserve(std::size_t n) { buf_.reserve(n); }
+    const std::vector<uint8_t> &buffer() const noexcept { return buf_; }
+    std::vector<uint8_t> take() { return std::move(buf_); }
+
+private:
+    std::vector<uint8_t> buf_;
+    std::size_t count_ = 0;
+    bool counting_ = false;
+};
+
+/// Bounds-checked little-endian cursor over a byte buffer.  Every read
+/// throws WireError instead of walking past the end.
+class Reader {
+public:
+    explicit Reader(std::span<const uint8_t> data) : data_(data) {}
+
+    uint8_t u8();
+    uint16_t u16();
+    uint32_t u32();
+    uint64_t u64();
+    double f64();
+    void words(std::span<uint64_t> out);
+    std::span<const uint8_t> bytes(std::size_t count);
+
+    std::size_t remaining() const noexcept { return data_.size() - pos_; }
+    bool done() const noexcept { return pos_ == data_.size(); }
+
+private:
+    void need(std::size_t count) const;
+
+    std::span<const uint8_t> data_;
+    std::size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Body-level save/load: tagged object bodies without the envelope, used
+// directly when nesting objects inside a larger message (keys inside a
+// GaloisKeys map, ciphertexts inside a serve::Request).
+// ---------------------------------------------------------------------------
+
+void save(Writer &w, const util::Modulus &m);
+void save(Writer &w, const std::vector<util::Modulus> &chain);
+void save(Writer &w, const ckks::EncryptionParameters &params);
+void save(Writer &w, const ckks::Plaintext &plain);
+void save(Writer &w, const ckks::Ciphertext &ct);
+void save(Writer &w, const ckks::SecretKey &sk);
+void save(Writer &w, const ckks::PublicKey &pk);
+void save(Writer &w, const ckks::KSwitchKey &key);
+void save(Writer &w, const ckks::RelinKeys &keys);
+void save(Writer &w, const ckks::GaloisKeys &keys);
+
+void load(Reader &r, util::Modulus &m);
+void load(Reader &r, std::vector<util::Modulus> &chain);
+void load(Reader &r, ckks::EncryptionParameters &params);
+void load(Reader &r, const ckks::CkksContext &ctx, ckks::Plaintext &plain);
+void load(Reader &r, const ckks::CkksContext &ctx, ckks::Ciphertext &ct);
+void load(Reader &r, const ckks::CkksContext &ctx, ckks::SecretKey &sk);
+void load(Reader &r, const ckks::CkksContext &ctx, ckks::PublicKey &pk);
+void load(Reader &r, const ckks::CkksContext &ctx, ckks::KSwitchKey &key);
+void load(Reader &r, const ckks::CkksContext &ctx, ckks::RelinKeys &keys);
+void load(Reader &r, const ckks::CkksContext &ctx, ckks::GaloisKeys &keys);
+
+// ---------------------------------------------------------------------------
+// Envelope level: the framing clients and servers exchange.
+// ---------------------------------------------------------------------------
+
+namespace detail {
+uint64_t fnv1a64(std::span<const uint8_t> data);
+/// Validates magic/version/length/checksum; returns the payload view.
+std::span<const uint8_t> open_envelope(std::span<const uint8_t> buffer);
+}  // namespace detail
+
+/// Exact size in bytes of serialize(obj), without serializing.
+template <typename T>
+std::size_t serialized_bytes(const T &obj) {
+    Writer w = Writer::sizing();
+    save(w, obj);
+    return kEnvelopeBytes + w.size();
+}
+
+/// Opens the envelope, loads one body through the save/load overload set
+/// (found by ADL, so other modules' message types work too), and rejects
+/// trailing payload bytes.
+template <typename T, typename... Ctx>
+T load_enveloped(std::span<const uint8_t> buffer, const Ctx &...ctx) {
+    Reader r(detail::open_envelope(buffer));
+    T out;
+    load(r, ctx..., out);
+    if (!r.done()) {
+        throw WireError("wire: trailing bytes in payload");
+    }
+    return out;
+}
+
+/// Serializes `obj` into a self-contained enveloped buffer.  The body is
+/// written straight into the (exactly reserved) envelope buffer; the
+/// payload length is back-patched and the checksum appended, so there is
+/// no second copy of the payload.
+template <typename T>
+std::vector<uint8_t> serialize(const T &obj) {
+    Writer w;
+    w.reserve(serialized_bytes(obj));
+    w.u32(kMagic);
+    w.u16(kVersion);
+    w.u16(0);  // reserved
+    w.u64(0);  // payload length, patched once the body is written
+    save(w, obj);
+    w.patch_u64(8, w.size() - kHeaderBytes);
+    w.u64(detail::fnv1a64(
+        std::span<const uint8_t>(w.buffer()).subspan(kHeaderBytes)));
+    return w.take();
+}
+
+util::Modulus load_modulus(std::span<const uint8_t> buffer);
+std::vector<util::Modulus> load_modulus_chain(std::span<const uint8_t> buffer);
+ckks::EncryptionParameters load_parameters(std::span<const uint8_t> buffer);
+ckks::Plaintext load_plaintext(std::span<const uint8_t> buffer,
+                               const ckks::CkksContext &ctx);
+ckks::Ciphertext load_ciphertext(std::span<const uint8_t> buffer,
+                                 const ckks::CkksContext &ctx);
+ckks::SecretKey load_secret_key(std::span<const uint8_t> buffer,
+                                const ckks::CkksContext &ctx);
+ckks::PublicKey load_public_key(std::span<const uint8_t> buffer,
+                                const ckks::CkksContext &ctx);
+ckks::KSwitchKey load_kswitch_key(std::span<const uint8_t> buffer,
+                                  const ckks::CkksContext &ctx);
+ckks::RelinKeys load_relin_keys(std::span<const uint8_t> buffer,
+                                const ckks::CkksContext &ctx);
+ckks::GaloisKeys load_galois_keys(std::span<const uint8_t> buffer,
+                                  const ckks::CkksContext &ctx);
+
+}  // namespace xehe::wire

@@ -1,0 +1,458 @@
+// Wire-format serialization: bit-exact round trips for every scheme type
+// (fresh and after evaluation), seed compression size and identity
+// guarantees, exact serialized_bytes accounting, and deserializer
+// robustness — every truncation and a sweep of single-bit corruptions of
+// every enveloped type must raise wire::WireError, never crash or read out
+// of bounds (the ASan/UBSan CI matrix runs this suite).
+#include "test_common.h"
+
+#include "serve/protocol.h"
+#include "wire/wire.h"
+
+namespace xehe::test {
+namespace {
+
+using wire::WireError;
+
+CkksBench &bench() {
+    static CkksBench b(1024, 3);
+    return b;
+}
+
+// ---------------------------------------------------------------------------
+// Round trips
+// ---------------------------------------------------------------------------
+
+TEST(WireModulus, RoundTripBitExact) {
+    for (const uint64_t value : test_moduli()) {
+        const util::Modulus m(value);
+        const auto bytes = wire::serialize(m);
+        EXPECT_EQ(bytes.size(), wire::serialized_bytes(m));
+        const util::Modulus loaded = wire::load_modulus(bytes);
+        EXPECT_EQ(loaded.value(), m.value());
+        EXPECT_EQ(loaded.bit_count(), m.bit_count());
+        EXPECT_EQ(loaded.const_ratio().lo, m.const_ratio().lo);
+        EXPECT_EQ(loaded.const_ratio().hi, m.const_ratio().hi);
+        EXPECT_EQ(loaded.const_ratio_64(), m.const_ratio_64());
+    }
+}
+
+TEST(WireModulus, ChainRoundTrip) {
+    const auto chain = util::generate_ntt_primes(50, 1024, 5);
+    const auto bytes = wire::serialize(chain);
+    EXPECT_EQ(bytes.size(), wire::serialized_bytes(chain));
+    const auto loaded = wire::load_modulus_chain(bytes);
+    ASSERT_EQ(loaded.size(), chain.size());
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+        EXPECT_EQ(loaded[i].value(), chain[i].value());
+    }
+}
+
+TEST(WireParameters, RoundTripRebuildsContext) {
+    const auto params = ckks::EncryptionParameters::create(1024, 3);
+    const auto bytes = wire::serialize(params);
+    EXPECT_EQ(bytes.size(), wire::serialized_bytes(params));
+    const auto loaded = wire::load_parameters(bytes);
+    ASSERT_EQ(loaded.poly_degree, params.poly_degree);
+    ASSERT_EQ(loaded.coeff_modulus.size(), params.coeff_modulus.size());
+    for (std::size_t i = 0; i < params.coeff_modulus.size(); ++i) {
+        EXPECT_EQ(loaded.coeff_modulus[i].value(),
+                  params.coeff_modulus[i].value());
+    }
+    // The server-side use: a context rebuilt from the wire parameters.
+    const ckks::CkksContext ctx(loaded);
+    EXPECT_EQ(ctx.n(), 1024u);
+    EXPECT_EQ(ctx.max_level(), 3u);
+}
+
+TEST(WirePlaintext, RoundTripBitExact) {
+    auto &b = bench();
+    const auto plain = b.encoder.encode(
+        std::span<const complexd>(b.values(7)), kScale);
+    const auto bytes = wire::serialize(plain);
+    EXPECT_EQ(bytes.size(), wire::serialized_bytes(plain));
+    const auto loaded = wire::load_plaintext(bytes, b.context);
+    EXPECT_EQ(loaded.data, plain.data);
+    EXPECT_EQ(loaded.n, plain.n);
+    EXPECT_EQ(loaded.rns, plain.rns);
+    EXPECT_EQ(loaded.scale, plain.scale);
+    EXPECT_EQ(loaded.ntt_form, plain.ntt_form);
+}
+
+TEST(WireCiphertext, FreshPublicKeyEncryptionRoundTrip) {
+    auto &b = bench();
+    const auto ct = b.enc(b.values(11));
+    EXPECT_FALSE(ct.a_seeded);  // pk encryption is not seed-compressible
+    const auto bytes = wire::serialize(ct);
+    EXPECT_EQ(bytes.size(), wire::serialized_bytes(ct));
+    const auto loaded = wire::load_ciphertext(bytes, b.context);
+    EXPECT_EQ(loaded.data, ct.data);
+    EXPECT_EQ(loaded.size, ct.size);
+    EXPECT_EQ(loaded.rns, ct.rns);
+    EXPECT_EQ(loaded.scale, ct.scale);
+    const auto direct = b.dec(ct);
+    const auto reloaded = b.dec(loaded);
+    EXPECT_EQ(max_abs_diff(direct, reloaded), 0.0);
+}
+
+TEST(WireCiphertext, EvaluatedRoundTripsBitExact) {
+    auto &b = bench();
+    const auto a = b.enc(b.values(21));
+    const auto c = b.enc(b.values(22));
+    const auto relin = b.keygen.create_relin_keys();
+    // Size-3 (unrelinearized), relinearized, and rescaled ciphertexts all
+    // take the unseeded path and must survive the wire bit-exactly.
+    for (const auto &ct :
+         {b.evaluator.multiply(a, c),
+          b.evaluator.relinearize(b.evaluator.multiply(a, c), relin),
+          b.evaluator.rescale(
+              b.evaluator.relinearize(b.evaluator.multiply(a, c), relin))}) {
+        const auto bytes = wire::serialize(ct);
+        EXPECT_EQ(bytes.size(), wire::serialized_bytes(ct));
+        const auto loaded = wire::load_ciphertext(bytes, b.context);
+        EXPECT_EQ(loaded.data, ct.data);
+        EXPECT_EQ(loaded.size, ct.size);
+        EXPECT_EQ(loaded.rns, ct.rns);
+        EXPECT_EQ(loaded.scale, ct.scale);
+    }
+}
+
+TEST(WireCiphertext, SeedCompressionShrinksAndDecryptsIdentically) {
+    auto &b = bench();
+    ckks::Encryptor sym(b.context, b.keygen.create_public_key(),
+                        b.keygen.secret_key(), 0xFEED);
+    const auto plain = b.encoder.encode(
+        std::span<const complexd>(b.values(31)), kScale);
+    const auto ct = sym.encrypt_symmetric(plain);
+    ASSERT_TRUE(ct.a_seeded);
+
+    // >= 1.8x smaller on the wire than the same ciphertext unseeded.
+    ckks::Ciphertext expanded = ct;
+    expanded.a_seeded = false;
+    const double ratio =
+        static_cast<double>(wire::serialized_bytes(expanded)) /
+        static_cast<double>(wire::serialized_bytes(ct));
+    EXPECT_GE(ratio, 1.8);
+
+    // Re-expansion is bit-exact: same words, same decryption.
+    const auto bytes = wire::serialize(ct);
+    EXPECT_EQ(bytes.size(), wire::serialized_bytes(ct));
+    const auto loaded = wire::load_ciphertext(bytes, b.context);
+    EXPECT_TRUE(loaded.a_seeded);
+    EXPECT_EQ(loaded.a_seed, ct.a_seed);
+    EXPECT_EQ(loaded.data, ct.data);
+    const auto direct = b.decryptor.decrypt(ct);
+    const auto reloaded = b.decryptor.decrypt(loaded);
+    EXPECT_EQ(direct.data, reloaded.data);
+    expect_close(b.encoder.decode(reloaded), b.values(31), 1e-4,
+                 "symmetric ciphertext decodes after reload");
+}
+
+TEST(WireKeys, SecretKeyRoundTrip) {
+    auto &b = bench();
+    const auto &sk = b.keygen.secret_key();
+    const auto bytes = wire::serialize(sk);
+    EXPECT_EQ(bytes.size(), wire::serialized_bytes(sk));
+    const auto loaded = wire::load_secret_key(bytes, b.context);
+    EXPECT_EQ(loaded.data, sk.data);
+}
+
+TEST(WireKeys, PublicKeySeedCompressedRoundTrip) {
+    auto &b = bench();
+    const auto pk = b.keygen.create_public_key();
+    ASSERT_TRUE(pk.ct.a_seeded);
+    ckks::PublicKey expanded = pk;
+    expanded.ct.a_seeded = false;
+    EXPECT_GE(static_cast<double>(wire::serialized_bytes(expanded)) /
+                  static_cast<double>(wire::serialized_bytes(pk)),
+              1.8);
+    const auto bytes = wire::serialize(pk);
+    const auto loaded = wire::load_public_key(bytes, b.context);
+    EXPECT_EQ(loaded.ct.data, pk.ct.data);
+
+    // A reloaded public key encrypts; the original secret key decrypts.
+    ckks::Encryptor enc(b.context, loaded, 0xABC);
+    const auto values = b.values(41);
+    const auto ct = enc.encrypt(b.encoder.encode(
+        std::span<const complexd>(values), kScale));
+    expect_close(b.dec(ct), values, 1e-4, "encrypt under reloaded pk");
+}
+
+TEST(WireKeys, RelinKeysSeedCompressedAndFunctionalAfterReload) {
+    auto &b = bench();
+    const auto relin = b.keygen.create_relin_keys();
+    for (const auto &ct : relin.key.keys) {
+        ASSERT_TRUE(ct.a_seeded);
+    }
+    ckks::RelinKeys expanded = relin;
+    for (auto &ct : expanded.key.keys) {
+        ct.a_seeded = false;
+    }
+    EXPECT_GE(static_cast<double>(wire::serialized_bytes(expanded)) /
+                  static_cast<double>(wire::serialized_bytes(relin)),
+              1.8);
+
+    const auto bytes = wire::serialize(relin);
+    EXPECT_EQ(bytes.size(), wire::serialized_bytes(relin));
+    const auto loaded = wire::load_relin_keys(bytes, b.context);
+    ASSERT_EQ(loaded.key.keys.size(), relin.key.keys.size());
+    for (std::size_t i = 0; i < relin.key.keys.size(); ++i) {
+        EXPECT_EQ(loaded.key.keys[i].data, relin.key.keys[i].data);
+    }
+
+    // Evaluation with reloaded keys is bit-identical to the original.
+    const auto a = b.enc(b.values(51));
+    const auto c = b.enc(b.values(52));
+    const auto with_original =
+        b.evaluator.relinearize(b.evaluator.multiply(a, c), relin);
+    const auto with_loaded =
+        b.evaluator.relinearize(b.evaluator.multiply(a, c), loaded);
+    EXPECT_EQ(with_original.data, with_loaded.data);
+}
+
+TEST(WireKeys, GaloisKeysRoundTripAndRotateBitExact) {
+    auto &b = bench();
+    const int steps[] = {1, -1, 4};
+    const auto galois = b.keygen.create_galois_keys(steps);
+    const auto bytes = wire::serialize(galois);
+    EXPECT_EQ(bytes.size(), wire::serialized_bytes(galois));
+    const auto loaded = wire::load_galois_keys(bytes, b.context);
+    ASSERT_EQ(loaded.keys.size(), galois.keys.size());
+    for (const auto &[elt, key] : galois.keys) {
+        ASSERT_TRUE(loaded.has(elt));
+        const auto &other = loaded.key(elt);
+        ASSERT_EQ(other.keys.size(), key.keys.size());
+        for (std::size_t i = 0; i < key.keys.size(); ++i) {
+            EXPECT_EQ(other.keys[i].data, key.keys[i].data);
+        }
+    }
+    const auto ct = b.enc(b.values(61));
+    EXPECT_EQ(b.evaluator.rotate(ct, 1, galois).data,
+              b.evaluator.rotate(ct, 1, loaded).data);
+}
+
+TEST(WireProtocol, RequestResponseRoundTrip) {
+    auto &b = bench();
+    serve::Request req;
+    req.session_id = 42;
+    req.op = serve::Op::MulLinRS;
+    req.arrival_ns = 1234.5;
+    req.inputs.push_back(wire::serialize(b.enc(b.values(71))));
+    req.inputs.push_back(wire::serialize(b.enc(b.values(72))));
+    const auto bytes = wire::serialize(req);
+    EXPECT_EQ(bytes.size(), wire::serialized_bytes(req));
+    const auto loaded = serve::load_request(bytes);
+    EXPECT_EQ(loaded.session_id, req.session_id);
+    EXPECT_EQ(loaded.op, req.op);
+    EXPECT_EQ(loaded.arrival_ns, req.arrival_ns);
+    ASSERT_EQ(loaded.inputs.size(), 2u);
+    EXPECT_EQ(loaded.inputs[0], req.inputs[0]);
+    EXPECT_EQ(loaded.inputs[1], req.inputs[1]);
+
+    serve::Response resp;
+    resp.session_id = 42;
+    resp.ok = true;
+    resp.result = req.inputs[0];
+    resp.enqueue_ns = 1.0;
+    resp.dispatch_ns = 2.0;
+    resp.complete_ns = 3.0;
+    const auto resp_bytes = wire::serialize(resp);
+    EXPECT_EQ(resp_bytes.size(), wire::serialized_bytes(resp));
+    const auto resp_loaded = serve::load_response(resp_bytes);
+    EXPECT_EQ(resp_loaded.ok, true);
+    EXPECT_EQ(resp_loaded.result, resp.result);
+    EXPECT_EQ(resp_loaded.latency_ns(), 2.0);
+}
+
+// ---------------------------------------------------------------------------
+// Robustness: truncations, bit flips, type confusion
+// ---------------------------------------------------------------------------
+
+/// Every truncation, a deterministic sweep of single-bit corruptions, and
+/// a one-byte extension of `bytes` must all raise WireError from `load_fn`
+/// — never crash, never return an object.
+template <typename LoadFn>
+void fuzz_enveloped(const std::vector<uint8_t> &bytes, LoadFn load_fn,
+                    const char *what) {
+    SCOPED_TRACE(what);
+    EXPECT_THROW(load_fn(std::span<const uint8_t>{}), WireError);
+
+    const std::size_t stride = std::max<std::size_t>(1, bytes.size() / 257);
+    for (std::size_t len = 0; len < bytes.size(); len += stride) {
+        EXPECT_THROW(
+            load_fn(std::span<const uint8_t>(bytes.data(), len)), WireError)
+            << "truncated to " << len << " of " << bytes.size();
+    }
+
+    std::vector<uint8_t> mutated = bytes;
+    const std::size_t total_bits = bytes.size() * 8;
+    for (std::size_t i = 0; i < 331; ++i) {
+        const std::size_t bit = (i * 2654435761u) % total_bits;
+        mutated[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+        EXPECT_THROW(load_fn(mutated), WireError) << "bit flip at " << bit;
+        mutated[bit / 8] ^= static_cast<uint8_t>(1u << (bit % 8));
+    }
+
+    std::vector<uint8_t> extended = bytes;
+    extended.push_back(0);
+    EXPECT_THROW(load_fn(extended), WireError) << "one trailing byte";
+}
+
+TEST(WireFuzz, EveryLoadOverloadRejectsCorruption) {
+    auto &b = bench();
+    const auto &ctx = b.context;
+
+    fuzz_enveloped(
+        wire::serialize(util::Modulus((1ull << 50) - 27)),
+        [](std::span<const uint8_t> s) { return wire::load_modulus(s); },
+        "modulus");
+    fuzz_enveloped(
+        wire::serialize(util::generate_ntt_primes(50, 1024, 4)),
+        [](std::span<const uint8_t> s) {
+            return wire::load_modulus_chain(s);
+        },
+        "modulus chain");
+    fuzz_enveloped(
+        wire::serialize(ckks::EncryptionParameters::create(1024, 3)),
+        [](std::span<const uint8_t> s) { return wire::load_parameters(s); },
+        "parameters");
+    fuzz_enveloped(
+        wire::serialize(b.encoder.encode(
+            std::span<const complexd>(b.values(81)), kScale)),
+        [&](std::span<const uint8_t> s) {
+            return wire::load_plaintext(s, ctx);
+        },
+        "plaintext");
+    fuzz_enveloped(
+        wire::serialize(b.enc(b.values(82))),
+        [&](std::span<const uint8_t> s) {
+            return wire::load_ciphertext(s, ctx);
+        },
+        "ciphertext");
+    fuzz_enveloped(
+        wire::serialize(b.keygen.secret_key()),
+        [&](std::span<const uint8_t> s) {
+            return wire::load_secret_key(s, ctx);
+        },
+        "secret key");
+    fuzz_enveloped(
+        wire::serialize(b.keygen.create_public_key()),
+        [&](std::span<const uint8_t> s) {
+            return wire::load_public_key(s, ctx);
+        },
+        "public key");
+    const auto relin = b.keygen.create_relin_keys();
+    fuzz_enveloped(
+        wire::serialize(relin.key),
+        [&](std::span<const uint8_t> s) {
+            return wire::load_kswitch_key(s, ctx);
+        },
+        "kswitch key");
+    fuzz_enveloped(
+        wire::serialize(relin),
+        [&](std::span<const uint8_t> s) {
+            return wire::load_relin_keys(s, ctx);
+        },
+        "relin keys");
+    const int steps[] = {1};
+    fuzz_enveloped(
+        wire::serialize(b.keygen.create_galois_keys(steps)),
+        [&](std::span<const uint8_t> s) {
+            return wire::load_galois_keys(s, ctx);
+        },
+        "galois keys");
+
+    serve::Request req;
+    req.op = serve::Op::SqrLinRS;
+    req.inputs.push_back(wire::serialize(b.enc(b.values(83))));
+    fuzz_enveloped(
+        wire::serialize(req),
+        [](std::span<const uint8_t> s) { return serve::load_request(s); },
+        "request");
+    serve::Response resp;
+    resp.ok = true;
+    resp.result = {1, 2, 3};
+    fuzz_enveloped(
+        wire::serialize(resp),
+        [](std::span<const uint8_t> s) { return serve::load_response(s); },
+        "response");
+}
+
+TEST(WireFuzz, TypeConfusionRejected) {
+    auto &b = bench();
+    const auto ct_bytes = wire::serialize(b.enc(b.values(91)));
+    EXPECT_THROW(wire::load_public_key(ct_bytes, b.context), WireError);
+    EXPECT_THROW(wire::load_plaintext(ct_bytes, b.context), WireError);
+    EXPECT_THROW(wire::load_parameters(ct_bytes), WireError);
+    EXPECT_THROW(serve::load_request(ct_bytes), WireError);
+}
+
+TEST(WireFuzz, ContextMismatchRejected) {
+    auto &b = bench();
+    const ckks::CkksContext other(ckks::EncryptionParameters::create(2048, 3));
+    const auto bytes = wire::serialize(b.enc(b.values(92)));
+    EXPECT_THROW(wire::load_ciphertext(bytes, other), WireError);
+}
+
+TEST(WireFuzz, SpecialPrimeLevelRejected) {
+    auto &b = bench();
+    // A crafted "data" ciphertext over the full key base (rns == key_rns,
+    // the special-prime level) passes every structural check except the
+    // level cap — no encryptor can produce it, so the wire rejects it.
+    ckks::Ciphertext ct;
+    ct.resize(b.context.n(), 2, b.context.key_rns());
+    ct.scale = kScale;
+    EXPECT_THROW(wire::load_ciphertext(wire::serialize(ct), b.context),
+                 WireError);
+}
+
+TEST(WireSeedInvalidation, HostEvaluatorOpsClearSeedFlag) {
+    auto &b = bench();
+    ckks::Encryptor sym(b.context, b.keygen.create_public_key(),
+                        b.keygen.secret_key(), 0xFEED);
+    const auto values_a = b.values(94);
+    const auto values_b = b.values(95);
+    const auto ct_a = sym.encrypt_symmetric(b.encoder.encode(
+        std::span<const complexd>(values_a), kScale));
+    const auto ct_b = sym.encrypt_symmetric(b.encoder.encode(
+        std::span<const complexd>(values_b), kScale));
+    ASSERT_TRUE(ct_a.a_seeded);
+
+    // Size-preserving host ops rewrite poly(1) of a copied input; the
+    // inherited seed must be dropped or serialization would silently
+    // reconstruct the pre-op uniform component.
+    const auto plain = b.encoder.encode(
+        std::span<const complexd>(values_b), kScale);
+    for (const auto &ct :
+         {b.evaluator.add(ct_a, ct_b), b.evaluator.sub(ct_a, ct_b),
+          b.evaluator.negate(ct_a), b.evaluator.multiply_plain(ct_a, plain)}) {
+        EXPECT_FALSE(ct.a_seeded);
+        const auto loaded =
+            wire::load_ciphertext(wire::serialize(ct), b.context);
+        EXPECT_EQ(loaded.data, ct.data);
+        EXPECT_EQ(b.decryptor.decrypt(loaded).data,
+                  b.decryptor.decrypt(ct).data);
+    }
+
+    // add_plain leaves poly(1) untouched, so its seed stays valid and the
+    // result still ships compressed.
+    const auto added = b.evaluator.add_plain(ct_a, plain);
+    EXPECT_TRUE(added.a_seeded);
+    const auto loaded =
+        wire::load_ciphertext(wire::serialize(added), b.context);
+    EXPECT_EQ(loaded.data, added.data);
+}
+
+TEST(WireSeedInvalidation, ResizeClearsSeedFlag) {
+    auto &b = bench();
+    ckks::Encryptor sym(b.context, b.keygen.create_public_key(),
+                        b.keygen.secret_key(), 0xFEED);
+    auto ct = sym.encrypt_symmetric(b.encoder.encode(
+        std::span<const complexd>(b.values(93)), kScale));
+    ASSERT_TRUE(ct.a_seeded);
+    ct.resize(ct.n, 2, ct.rns);
+    EXPECT_FALSE(ct.a_seeded);
+}
+
+}  // namespace
+}  // namespace xehe::test
