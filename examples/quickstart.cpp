@@ -1,88 +1,85 @@
-// Quickstart: the full XeHE pipeline end to end.
+// Quickstart: the unified he:: frontend end to end.
 //
-// Encodes two real vectors, encrypts them on the host, uploads to the
-// simulated Intel GPU, computes (a * b) with relinearization and rescaling
-// on the GPU evaluator, downloads, decrypts, and prints a few slots next to
-// the expected plaintext results — Fig. 1's client/server flow in one file.
+// One he::Session over the simulated-GPU backend owns the keys and the
+// scale/level bookkeeping: encrypt two vectors, compose
+// add(multiply(a, b), c) - 0.25 * rotate(a, 1) without touching
+// relinearize/rescale/mod-switch, decrypt, and compare against the
+// plaintext reference.  Then the same computation travels as a
+// wire-serialized he::Program — the circuit a client would ship to the
+// serving frontend — and produces the identical ciphertext.
+// The raw layer-by-layer API this automates lives in
+// examples/quickstart_lowlevel.cpp.
+#include <array>
+#include <cmath>
 #include <cstdio>
 #include <vector>
 
-#include "ckks/encoder.h"
-#include "wire/wire.h"
-#include "xehe/gpu_evaluator.h"
+#include "he/session.h"
+#include "xgpu/device.h"
 
 int main() {
     using namespace xehe;
 
-    // 1. Parameters: N = 8192 with 3 data primes (+1 special prime).
+    // 1. Parameters and the GPU backend (radix-8 SLM NTT, inline asm,
+    //    memory cache, async pipeline — the paper's full stack).
     const ckks::CkksContext context(
         ckks::EncryptionParameters::create(8192, 3));
-    const double scale = std::ldexp(1.0, 40);
-
-    // 2. Host-side scheme objects (key generation stays on the CPU).
-    ckks::CkksEncoder encoder(context);
-    ckks::KeyGenerator keygen(context);
-    ckks::Encryptor encryptor(context, keygen.create_public_key(),
-                              keygen.secret_key());
-    ckks::Decryptor decryptor(context, keygen.secret_key());
-    const auto relin_keys = keygen.create_relin_keys();
-
-    // 3. Encode + encrypt two vectors.  Symmetric encryption records the
-    //    PRNG seed of its uniform component, so the wire format ships the
-    //    seed instead of half the ciphertext (seed compression).
-    std::vector<double> a(encoder.slots()), b(encoder.slots());
-    for (std::size_t i = 0; i < a.size(); ++i) {
-        a[i] = 0.001 * static_cast<double>(i % 1000);
-        b[i] = 1.5 - 0.0005 * static_cast<double>(i % 2000);
-    }
-    const auto fresh_a = encryptor.encrypt_symmetric(
-        encoder.encode(std::span<const double>(a), scale));
-    const auto fresh_b = encryptor.encrypt_symmetric(
-        encoder.encode(std::span<const double>(b), scale));
-
-    // 3b. Save -> load round trip through the versioned wire format, the
-    //     client -> server hop of the serving pipeline.  Everything past
-    //     this line works on the reloaded ciphertexts.
-    ckks::Ciphertext expanded_a = fresh_a;
-    expanded_a.a_seeded = false;  // size of the same ciphertext, unseeded
-    std::printf("wire: ciphertext %zu bytes seeded, %zu expanded (%.2fx); "
-                "relin keys %zu bytes\n",
-                wire::serialized_bytes(fresh_a),
-                wire::serialized_bytes(expanded_a),
-                static_cast<double>(wire::serialized_bytes(expanded_a)) /
-                    static_cast<double>(wire::serialized_bytes(fresh_a)),
-                wire::serialized_bytes(relin_keys));
-    const auto ct_a =
-        wire::load_ciphertext(wire::serialize(fresh_a), context);
-    const auto ct_b =
-        wire::load_ciphertext(wire::serialize(fresh_b), context);
-
-    // 4. GPU context: radix-8 SLM NTT, inline assembly, memory cache,
-    //    asynchronous pipeline — the paper's full optimization stack.
     core::GpuOptions options;
     options.isa = xgpu::IsaMode::InlineAsm;
     core::GpuContext gpu(context, xgpu::device1(), options);
     core::GpuEvaluator evaluator(gpu);
+    he::GpuBackend backend(gpu, evaluator);
 
-    // 5. Upload, evaluate MulLinRS on the GPU, download (the only blocking
-    //    synchronization point).
-    auto gpu_a = core::upload(gpu, ct_a);
-    auto gpu_b = core::upload(gpu, ct_b);
-    auto gpu_prod = evaluator.mul_lin_rs(gpu_a, gpu_b, relin_keys);
-    const auto ct_prod = core::download(gpu, gpu_prod);
+    // 2. One session = keys + encoder + automatic scale/level management.
+    he::Session session(backend);
 
-    // 6. Decrypt + decode.
-    const auto decoded = encoder.decode(decryptor.decrypt(ct_prod));
-
-    std::printf(
-        "slot        a          b        a*b    decrypted      error\n");
-    for (std::size_t i : {0u, 1u, 7u, 100u, 4095u}) {
-        const double expect = a[i] * b[i];
-        std::printf("%4zu %10.5f %10.5f %10.5f %12.5f %10.2e\n", i, a[i], b[i],
-                    expect, decoded[i].real(),
-                    std::abs(decoded[i].real() - expect));
+    std::vector<double> a(context.slots()), b(context.slots()),
+        c(context.slots());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        a[i] = 0.001 * static_cast<double>(i % 1000);
+        b[i] = 1.5 - 0.0005 * static_cast<double>(i % 2000);
+        c[i] = 0.25 * std::sin(0.01 * static_cast<double>(i));
     }
-    std::printf("\nSimulated GPU time: %.3f ms (%.1f%% spent in NTT kernels)\n",
+    const auto ct_a = session.encrypt(a);
+    const auto ct_b = session.encrypt(b);
+    const auto ct_c = session.encrypt(c);
+
+    // 3. Compose freely: the session relinearizes and rescales the
+    //    product, mod-switches the fresh operands down to its level, and
+    //    reconciles scales — no manual bookkeeping.
+    const auto result = session.sub(
+        session.add(session.multiply(ct_a, ct_b), ct_c),
+        session.multiply(session.rotate(ct_a, 1), 0.25));
+
+    // 4. Decrypt and compare.
+    const auto decoded = session.decrypt(result);
+    std::printf(
+        "slot     a*b + c - 0.25*rot(a)    decrypted        error\n");
+    for (std::size_t i : {0u, 1u, 7u, 100u, 4095u}) {
+        const double expect =
+            a[i] * b[i] + c[i] - 0.25 * a[(i + 1) % a.size()];
+        std::printf("%4zu %20.6f %16.6f %12.2e\n", i, expect, decoded[i],
+                    std::abs(decoded[i] - expect));
+    }
+
+    // 5. The same circuit as a wire-executable he::Program: built once,
+    //    serialized (what a client ships to serve::InferenceServer),
+    //    reloaded and interpreted over the same backend.
+    he::ProgramBuilder builder(3);
+    const auto prod =
+        builder.rescale(builder.relinearize(
+            builder.multiply(builder.input(0), builder.input(1))));
+    builder.output(builder.mod_switch_add(prod, builder.input(2)));
+    const auto bytes = wire::serialize(builder.build());
+    const he::Program circuit = he::load_program(bytes, context);
+    const std::array inputs{ct_a, ct_b, ct_c};
+    const auto outputs = session.run(circuit, inputs);
+    std::printf("\nprogram: %zu wire bytes, %zu nodes, output level %zu "
+                "(scale 2^%.1f)\n",
+                bytes.size(), circuit.nodes.size(), outputs[0].level(),
+                std::log2(outputs[0].scale()));
+
+    std::printf("Simulated GPU time: %.3f ms (%.1f%% in NTT kernels)\n",
                 gpu.profiler().total_ns() * 1e-6,
                 100.0 * gpu.profiler().ntt_fraction());
     return 0;

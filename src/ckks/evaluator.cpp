@@ -77,7 +77,11 @@ Ciphertext Evaluator::multiply_plain(const Ciphertext &a,
 }
 
 Ciphertext Evaluator::multiply(const Ciphertext &a, const Ciphertext &b) const {
-    check_compatible(a, b);
+    // No scale check: unlike add/sub, multiplication is exact across
+    // unequal scales (the result tracks their product), matching the GPU
+    // evaluator.
+    util::require(a.n == b.n && a.rns == b.rns, "ciphertext level mismatch");
+    util::require(a.ntt_form && b.ntt_form, "expected NTT form");
     util::require(a.size == 2 && b.size == 2, "multiply expects size-2 inputs");
     Ciphertext out;
     out.resize(a.n, 3, a.rns);

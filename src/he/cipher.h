@@ -1,0 +1,50 @@
+// Value-semantic ciphertext handle of the unified he:: frontend.
+//
+// A Cipher is an immutable, shareable reference to a backend-owned
+// ciphertext (a host ckks::Ciphertext or a GPU-resident GpuCiphertext)
+// plus the metadata the frontend's automatic scale/level management needs
+// (size, level, scale) mirrored on the handle.  Copies share the
+// underlying value; every operation produces a fresh handle — the
+// SEAL-style "ciphertexts are values" surface over both evaluators.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+namespace xehe::he {
+
+class Backend;
+
+class Cipher {
+public:
+    Cipher() = default;
+
+    /// False for a default-constructed (empty) handle.
+    bool valid() const noexcept { return impl_ != nullptr; }
+
+    /// Number of polynomials (2, or 3 after an unrelinearized multiply).
+    std::size_t size() const noexcept { return size_; }
+    /// Active data-prime count (the ciphertext level).
+    std::size_t level() const noexcept { return level_; }
+    /// CKKS scale Δ the encrypted values are tracked at.
+    double scale() const noexcept { return scale_; }
+
+    /// The backend that owns the underlying value.  Handles are only
+    /// meaningful on their own backend; ops on a foreign backend throw.
+    const Backend *backend() const noexcept { return owner_; }
+
+private:
+    friend class Backend;
+    Cipher(std::shared_ptr<const void> impl, const Backend *owner,
+           std::size_t size, std::size_t level, double scale)
+        : impl_(std::move(impl)), owner_(owner), size_(size), level_(level),
+          scale_(scale) {}
+
+    std::shared_ptr<const void> impl_;
+    const Backend *owner_ = nullptr;
+    std::size_t size_ = 0;
+    std::size_t level_ = 0;
+    double scale_ = 1.0;
+};
+
+}  // namespace xehe::he

@@ -1,0 +1,386 @@
+#include "he/program.h"
+
+#include <string>
+
+namespace xehe::he {
+
+namespace {
+
+// Wire-level sanity bounds: generous for real circuits, tight enough that
+// a corrupt length field cannot drive allocation or validation cost.
+constexpr std::size_t kMaxInputs = 64;
+constexpr std::size_t kMaxConstants = 1024;
+constexpr std::size_t kMaxNodes = 1 << 16;
+constexpr std::size_t kMaxOutputs = 64;
+constexpr int32_t kMaxRotateStep = 1 << 20;
+
+void check(bool condition, const char *what) {
+    if (!condition) {
+        throw std::invalid_argument(std::string("he: ") + what);
+    }
+}
+
+}  // namespace
+
+const char *op_code_name(OpCode op) {
+    switch (op) {
+        case OpCode::Add: return "Add";
+        case OpCode::Sub: return "Sub";
+        case OpCode::Negate: return "Negate";
+        case OpCode::AddPlain: return "AddPlain";
+        case OpCode::MultiplyPlain: return "MultiplyPlain";
+        case OpCode::Multiply: return "Multiply";
+        case OpCode::Square: return "Square";
+        case OpCode::Relinearize: return "Relinearize";
+        case OpCode::Rescale: return "Rescale";
+        case OpCode::ModSwitch: return "ModSwitch";
+        case OpCode::ModSwitchAdopt: return "ModSwitchAdopt";
+        case OpCode::Rotate: return "Rotate";
+        case OpCode::Conjugate: return "Conjugate";
+        case OpCode::ModSwitchAdd: return "ModSwitchAdd";
+    }
+    return "unknown";
+}
+
+std::size_t op_code_arity(OpCode op) {
+    switch (op) {
+        case OpCode::Add:
+        case OpCode::Sub:
+        case OpCode::AddPlain:
+        case OpCode::MultiplyPlain:
+        case OpCode::Multiply:
+        case OpCode::ModSwitchAdopt:
+        case OpCode::ModSwitchAdd: return 2;
+        case OpCode::Negate:
+        case OpCode::Square:
+        case OpCode::Relinearize:
+        case OpCode::Rescale:
+        case OpCode::ModSwitch:
+        case OpCode::Rotate:
+        case OpCode::Conjugate: return 1;
+    }
+    return 0;
+}
+
+void Program::validate() const {
+    check(num_inputs <= kMaxInputs, "too many program inputs");
+    check(constants.size() <= kMaxConstants, "too many program constants");
+    check(nodes.size() <= kMaxNodes, "too many program nodes");
+    check(!outputs.empty(), "program has no outputs");
+    check(outputs.size() <= kMaxOutputs, "too many program outputs");
+
+    const uint32_t const_base = num_inputs;
+    const uint32_t node_base =
+        const_base + static_cast<uint32_t>(constants.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const Node &node = nodes[i];
+        const uint32_t defined = node_base + static_cast<uint32_t>(i);
+        check(static_cast<uint8_t>(node.op) <= kMaxOpCode, "bad opcode");
+        check(node.a < defined, "operand references an undefined value");
+        check(!is_constant(node.a), "first operand must be a ciphertext");
+        const bool wants_plain = node.op == OpCode::AddPlain ||
+                                 node.op == OpCode::MultiplyPlain;
+        if (op_code_arity(node.op) == 2) {
+            check(node.b < defined, "operand references an undefined value");
+            check(is_constant(node.b) == wants_plain,
+                  wants_plain ? "second operand must be a constant"
+                              : "second operand must be a ciphertext");
+        } else {
+            check(node.b == 0, "unary op with a second operand");
+        }
+        if (node.op == OpCode::Rotate) {
+            check(node.imm >= -kMaxRotateStep && node.imm <= kMaxRotateStep,
+                  "rotation step out of range");
+        } else {
+            check(node.imm == 0, "immediate on a non-rotate op");
+        }
+    }
+    for (const uint32_t out : outputs) {
+        check(out < value_count(), "output references an undefined value");
+        check(!is_constant(out), "output must be a ciphertext value");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// ProgramBuilder
+// ---------------------------------------------------------------------------
+
+ProgramBuilder::ProgramBuilder(std::size_t num_inputs) {
+    check(num_inputs <= kMaxInputs, "too many program inputs");
+    program_.num_inputs = static_cast<uint32_t>(num_inputs);
+}
+
+ProgramBuilder::Value ProgramBuilder::input(std::size_t i) const {
+    check(i < program_.num_inputs, "program input index out of range");
+    return Value{static_cast<uint32_t>(i)};
+}
+
+ProgramBuilder::Value ProgramBuilder::constant(ckks::Plaintext plain) {
+    check(program_.nodes.empty(),
+          "constants must be declared before the first node");
+    check(program_.constants.size() < kMaxConstants,
+          "too many program constants");
+    program_.constants.push_back(std::move(plain));
+    return Value{program_.num_inputs +
+                 static_cast<uint32_t>(program_.constants.size()) - 1};
+}
+
+ProgramBuilder::Value ProgramBuilder::node(OpCode op, Value a, Value b) {
+    Program::Node node;
+    node.op = op;
+    node.a = a.index;
+    node.b = op_code_arity(op) == 2 ? b.index : 0;
+    program_.nodes.push_back(node);
+    return Value{program_.num_inputs +
+                 static_cast<uint32_t>(program_.constants.size()) +
+                 static_cast<uint32_t>(program_.nodes.size()) - 1};
+}
+
+ProgramBuilder::Value ProgramBuilder::rotate(Value a, int step) {
+    Value v = node(OpCode::Rotate, a);
+    program_.nodes.back().imm = step;
+    return v;
+}
+
+void ProgramBuilder::output(Value v) {
+    program_.outputs.push_back(v.index);
+}
+
+Program ProgramBuilder::build() {
+    program_.validate();
+    return std::move(program_);
+}
+
+// ---------------------------------------------------------------------------
+// Interpreter
+// ---------------------------------------------------------------------------
+
+std::vector<Cipher> run_program(const Program &program, Backend &backend,
+                                std::span<const Cipher> inputs,
+                                const ProgramKeys &keys) {
+    program.validate();
+    util::require(inputs.size() == program.num_inputs,
+                  "he: program input count mismatch");
+
+    const uint32_t const_base = program.num_inputs;
+    const uint32_t node_base =
+        const_base + static_cast<uint32_t>(program.constants.size());
+    // One slot per value; constant slots stay empty (validate() guarantees
+    // they are only reached through plain-operand positions).
+    std::vector<Cipher> values(program.value_count());
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+        values[i] = inputs[i];
+    }
+    // Liveness: release each ciphertext after its last consumer, so the
+    // interpreter's footprint is the program's live width, not its length
+    // — a wire-bounds program (64K chained nodes) must not hold 64K
+    // ciphertexts (and OOM the server) when only a handful are live.
+    constexpr std::size_t kKeep = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> last_use(program.value_count(), 0);
+    for (std::size_t i = 0; i < program.nodes.size(); ++i) {
+        last_use[program.nodes[i].a] = i + 1;
+        if (op_code_arity(program.nodes[i].op) == 2) {
+            last_use[program.nodes[i].b] = i + 1;
+        }
+    }
+    for (const uint32_t out : program.outputs) {
+        last_use[out] = kKeep;
+    }
+    const auto plain_at = [&](uint32_t index) -> const ckks::Plaintext & {
+        return program.constants[index - const_base];
+    };
+    const auto relin = [&]() -> const ckks::RelinKeys & {
+        util::require(keys.relin != nullptr,
+                      "he: program needs relinearization keys");
+        return *keys.relin;
+    };
+    const auto galois = [&]() -> const ckks::GaloisKeys & {
+        util::require(keys.galois != nullptr, "he: program needs galois keys");
+        return *keys.galois;
+    };
+
+    for (std::size_t i = 0; i < program.nodes.size(); ++i) {
+        const Program::Node &node = program.nodes[i];
+        const Cipher &a = values[node.a];
+        Cipher out;
+        switch (node.op) {
+            case OpCode::Add:
+                out = backend.add(a, values[node.b]);
+                break;
+            case OpCode::Sub:
+                out = backend.sub(a, values[node.b]);
+                break;
+            case OpCode::Negate:
+                out = backend.negate(a);
+                break;
+            case OpCode::AddPlain:
+                out = backend.add_plain(a, plain_at(node.b));
+                break;
+            case OpCode::MultiplyPlain:
+                out = backend.multiply_plain(a, plain_at(node.b));
+                break;
+            case OpCode::Multiply:
+                out = backend.multiply(a, values[node.b]);
+                break;
+            case OpCode::Square:
+                out = backend.square(a);
+                break;
+            case OpCode::Relinearize:
+                out = backend.relinearize(a, relin());
+                break;
+            case OpCode::Rescale:
+                out = backend.rescale(a);
+                break;
+            case OpCode::ModSwitch:
+                out = backend.mod_switch(a);
+                break;
+            case OpCode::ModSwitchAdopt:
+                out = backend.mod_switch(a, values[node.b].scale());
+                break;
+            case OpCode::ModSwitchAdd:
+                out = backend.mod_switch_add(a, values[node.b]);
+                break;
+            case OpCode::Rotate:
+                out = backend.rotate(a, node.imm, galois());
+                break;
+            case OpCode::Conjugate:
+                out = backend.conjugate(a, galois());
+                break;
+        }
+        values[node_base + i] = std::move(out);
+        // Drop operands this node consumed last, and the result itself if
+        // nothing (and no output) ever reads it.
+        if (last_use[node.a] == i + 1) {
+            values[node.a] = Cipher{};
+        }
+        if (op_code_arity(node.op) == 2 && last_use[node.b] == i + 1) {
+            values[node.b] = Cipher{};
+        }
+        if (last_use[node_base + i] == 0) {
+            values[node_base + i] = Cipher{};
+        }
+    }
+
+    std::vector<Cipher> outputs;
+    outputs.reserve(program.outputs.size());
+    for (const uint32_t out : program.outputs) {
+        outputs.push_back(values[out]);
+    }
+    return outputs;
+}
+
+// ---------------------------------------------------------------------------
+// Canonical routine programs (Section IV-C)
+// ---------------------------------------------------------------------------
+
+Program mul_lin_program() {
+    ProgramBuilder b(2);
+    b.output(b.relinearize(b.multiply(b.input(0), b.input(1))));
+    return b.build();
+}
+
+Program mul_lin_rs_program() {
+    ProgramBuilder b(2);
+    b.output(b.rescale(b.relinearize(b.multiply(b.input(0), b.input(1)))));
+    return b.build();
+}
+
+Program sqr_lin_rs_program() {
+    ProgramBuilder b(1);
+    b.output(b.rescale(b.relinearize(b.square(b.input(0)))));
+    return b.build();
+}
+
+Program mul_lin_rs_modsw_add_program() {
+    ProgramBuilder b(3);
+    const auto prod =
+        b.rescale(b.relinearize(b.multiply(b.input(0), b.input(1))));
+    // The fused tail: the addend mod-switches down, adopts the product's
+    // scale (the routine's approximate-scale bookkeeping), and adds — one
+    // launch on the GPU backend, no materialized intermediate.
+    b.output(b.mod_switch_add(prod, b.input(2)));
+    return b.build();
+}
+
+Program rotate_program(int step) {
+    ProgramBuilder b(1);
+    b.output(b.rotate(b.input(0), step));
+    return b.build();
+}
+
+// ---------------------------------------------------------------------------
+// Wire serialization
+// ---------------------------------------------------------------------------
+
+void save(wire::Writer &w, const Program &program) {
+    w.u8(static_cast<uint8_t>(wire::Tag::Program));
+    w.u32(program.num_inputs);
+    w.u32(static_cast<uint32_t>(program.constants.size()));
+    for (const auto &plain : program.constants) {
+        wire::save(w, plain);
+    }
+    w.u32(static_cast<uint32_t>(program.nodes.size()));
+    for (const auto &node : program.nodes) {
+        w.u8(static_cast<uint8_t>(node.op));
+        w.u32(node.a);
+        w.u32(node.b);
+        w.u32(static_cast<uint32_t>(node.imm));
+    }
+    w.u32(static_cast<uint32_t>(program.outputs.size()));
+    for (const uint32_t out : program.outputs) {
+        w.u32(out);
+    }
+}
+
+void load(wire::Reader &r, const ckks::CkksContext &ctx, Program &program) {
+    const auto fail = [](const char *what) -> void {
+        throw wire::WireError(std::string("wire: ") + what);
+    };
+    if (r.u8() != static_cast<uint8_t>(wire::Tag::Program)) {
+        fail("expected Program");
+    }
+    program = Program{};
+    program.num_inputs = r.u32();
+    const uint32_t const_count = r.u32();
+    if (const_count > kMaxConstants) {
+        fail("bad program constant count");
+    }
+    program.constants.resize(const_count);
+    for (auto &plain : program.constants) {
+        wire::load(r, ctx, plain);
+    }
+    const uint32_t node_count = r.u32();
+    if (node_count > kMaxNodes) {
+        fail("bad program node count");
+    }
+    program.nodes.resize(node_count);
+    for (auto &node : program.nodes) {
+        node.op = static_cast<OpCode>(r.u8());
+        node.a = r.u32();
+        node.b = r.u32();
+        node.imm = static_cast<int32_t>(r.u32());
+    }
+    const uint32_t output_count = r.u32();
+    if (output_count > kMaxOutputs) {
+        fail("bad program output count");
+    }
+    program.outputs.resize(output_count);
+    for (auto &out : program.outputs) {
+        out = r.u32();
+    }
+    // Structural validation behind the same typed error the rest of the
+    // wire layer throws: a corrupt program never reaches the interpreter.
+    try {
+        program.validate();
+    } catch (const std::exception &e) {
+        throw wire::WireError(std::string("wire: invalid program: ") +
+                              e.what());
+    }
+}
+
+Program load_program(std::span<const uint8_t> buffer,
+                     const ckks::CkksContext &ctx) {
+    return wire::load_enveloped<Program>(buffer, ctx);
+}
+
+}  // namespace xehe::he

@@ -1,0 +1,167 @@
+// he::Program — a compact, wire-serializable circuit IR over the Backend
+// primitives.
+//
+// A program is an op list over a single value space: indices
+// [0, num_inputs) are the caller's ciphertext inputs, the next
+// [num_inputs, num_inputs + constants.size()) are embedded plaintext
+// constants, and every node appends one ciphertext value.  `outputs`
+// names the values the program returns.  Ops are the raw Backend
+// primitives — the interpreter performs no automatic management, so a
+// program's kernel stream (and therefore its ciphertext bits) is exactly
+// the op sequence it spells out; he::Session is the managed surface.
+//
+// Programs serialize through the src/wire envelope (Tag::Program) and are
+// the payload of serve::Op::Program requests: clients ship arbitrary
+// circuits instead of picking from the five hard-coded routines, and the
+// five Section IV-C routines themselves are re-expressed as the canonical
+// programs below (the routine harness and the server interpret those, so
+// there is exactly one execution path).
+#pragma once
+
+#include "he/backend.h"
+#include "wire/wire.h"
+
+namespace xehe::he {
+
+enum class OpCode : uint8_t {
+    Add = 0,            ///< (cipher, cipher)
+    Sub = 1,            ///< (cipher, cipher)
+    Negate = 2,         ///< (cipher)
+    AddPlain = 3,       ///< (cipher, constant)
+    MultiplyPlain = 4,  ///< (cipher, constant)
+    Multiply = 5,       ///< (cipher, cipher); operands size 2
+    Square = 6,         ///< (cipher)
+    Relinearize = 7,    ///< (cipher); needs relin keys
+    Rescale = 8,        ///< (cipher)
+    ModSwitch = 9,      ///< (cipher)
+    /// (cipher a, cipher ref): mod-switch `a` one level and adopt `ref`'s
+    /// scale metadata — the routines' approximate-scale bookkeeping
+    /// (`c_down.scale = prod.scale`), with no extra kernel.
+    ModSwitchAdopt = 10,
+    Rotate = 11,     ///< (cipher), imm = step; needs galois keys
+    Conjugate = 12,  ///< (cipher); needs the conjugation galois key
+    /// (cipher a, cipher c): a + mod_switch(c) with c adopting a's scale
+    /// — the MulLinRSModSwAdd tail as one op, which the GPU backend
+    /// executes as a single fused gather+add launch.
+    ModSwitchAdd = 13,
+};
+
+inline constexpr uint8_t kMaxOpCode =
+    static_cast<uint8_t>(OpCode::ModSwitchAdd);
+
+const char *op_code_name(OpCode op);
+/// Operand count of an op (1 or 2).
+std::size_t op_code_arity(OpCode op);
+
+struct Program {
+    struct Node {
+        OpCode op = OpCode::Add;
+        uint32_t a = 0;  ///< first operand (value index)
+        uint32_t b = 0;  ///< second operand; 0 and unused for unary ops
+        int32_t imm = 0; ///< rotation step (Rotate only)
+    };
+
+    uint32_t num_inputs = 0;
+    std::vector<ckks::Plaintext> constants;
+    std::vector<Node> nodes;
+    std::vector<uint32_t> outputs;
+
+    std::size_t value_count() const noexcept {
+        return num_inputs + constants.size() + nodes.size();
+    }
+    bool is_constant(uint32_t index) const noexcept {
+        return index >= num_inputs && index < num_inputs + constants.size();
+    }
+
+    /// Structural validation: operand indices in range and already
+    /// defined, cipher/plaintext kinds where each op expects them, at
+    /// least one output, every output a ciphertext value.  Throws
+    /// std::invalid_argument; wire loads run this before returning.
+    void validate() const;
+};
+
+/// Incremental builder with index bookkeeping; `Value` is just a checked
+/// value index.
+class ProgramBuilder {
+public:
+    struct Value {
+        uint32_t index;
+    };
+
+    explicit ProgramBuilder(std::size_t num_inputs);
+
+    Value input(std::size_t i) const;
+    Value constant(ckks::Plaintext plain);
+
+    Value add(Value a, Value b) { return node(OpCode::Add, a, b); }
+    Value sub(Value a, Value b) { return node(OpCode::Sub, a, b); }
+    Value negate(Value a) { return node(OpCode::Negate, a); }
+    Value add_plain(Value a, Value c) { return node(OpCode::AddPlain, a, c); }
+    Value multiply_plain(Value a, Value c) {
+        return node(OpCode::MultiplyPlain, a, c);
+    }
+    Value multiply(Value a, Value b) { return node(OpCode::Multiply, a, b); }
+    Value square(Value a) { return node(OpCode::Square, a); }
+    Value relinearize(Value a) { return node(OpCode::Relinearize, a); }
+    Value rescale(Value a) { return node(OpCode::Rescale, a); }
+    Value mod_switch(Value a) { return node(OpCode::ModSwitch, a); }
+    Value mod_switch_adopt(Value a, Value ref) {
+        return node(OpCode::ModSwitchAdopt, a, ref);
+    }
+    Value mod_switch_add(Value a, Value c) {
+        return node(OpCode::ModSwitchAdd, a, c);
+    }
+    Value rotate(Value a, int step);
+    Value conjugate(Value a) { return node(OpCode::Conjugate, a); }
+
+    void output(Value v);
+
+    /// Validates and returns the finished program.
+    Program build();
+
+private:
+    Value node(OpCode op, Value a, Value b = {0});
+
+    Program program_;
+};
+
+/// Keys the interpreter hands to key-consuming ops; a needed-but-missing
+/// key throws.
+struct ProgramKeys {
+    const ckks::RelinKeys *relin = nullptr;
+    const ckks::GaloisKeys *galois = nullptr;
+};
+
+/// Interprets `program` over `backend` on the given inputs (one Cipher
+/// per program input, on that backend) and returns the output handles in
+/// `program.outputs` order.  Raw execution: ops map 1:1 onto Backend
+/// calls, in node order.
+std::vector<Cipher> run_program(const Program &program, Backend &backend,
+                                std::span<const Cipher> inputs,
+                                const ProgramKeys &keys = {});
+
+// ---------------------------------------------------------------------------
+// Canonical programs for the five Section IV-C routines.  Interpreted over
+// GpuBackend they are bit-identical to the direct GpuEvaluator routine
+// calls (tests/test_he_program.cpp proves it differentially).
+// ---------------------------------------------------------------------------
+
+Program mul_lin_program();             ///< relin(a * b)
+Program mul_lin_rs_program();          ///< rescale(relin(a * b))
+Program sqr_lin_rs_program();          ///< rescale(relin(a^2))
+Program mul_lin_rs_modsw_add_program();///< rescale(relin(a*b)) + modsw(c)
+Program rotate_program(int step);      ///< rotate(a, step)
+
+// ---------------------------------------------------------------------------
+// Wire serialization (picked up by wire::serialize / load_enveloped via
+// ADL).  Loading validates structurally and needs the context for the
+// embedded plaintext constants.
+// ---------------------------------------------------------------------------
+
+void save(wire::Writer &w, const Program &program);
+void load(wire::Reader &r, const ckks::CkksContext &ctx, Program &program);
+
+Program load_program(std::span<const uint8_t> buffer,
+                     const ckks::CkksContext &ctx);
+
+}  // namespace xehe::he

@@ -22,6 +22,7 @@ const char *op_name(Op op) {
         case Op::MulLinRSModSwAdd: return "MulLinRSModSwAdd";
         case Op::Rotate: return "Rotate";
         case Op::MatmulTile: return "MatmulTile";
+        case Op::Program: return "Program";
     }
     return "unknown";
 }
@@ -34,6 +35,7 @@ std::size_t op_arity(Op op) {
         case Op::SqrLinRS:
         case Op::Rotate: return 1;
         case Op::MulLinRSModSwAdd: return 3;
+        case Op::Program: return 0;  // dynamic: the program's input count
     }
     return 0;
 }
@@ -52,6 +54,8 @@ void save(wire::Writer &w, const Request &req) {
         w.u64(input.size());
         w.bytes(input);
     }
+    w.u64(req.program.size());
+    w.bytes(req.program);
 }
 
 void load(wire::Reader &r, Request &req) {
@@ -59,7 +63,7 @@ void load(wire::Reader &r, Request &req) {
           "wire: expected Request");
     req.session_id = r.u64();
     const uint8_t op = r.u8();
-    check(op <= static_cast<uint8_t>(Op::MatmulTile), "wire: bad op");
+    check(op <= static_cast<uint8_t>(Op::Program), "wire: bad op");
     req.op = static_cast<Op>(op);
     req.rotate_step = static_cast<int>(static_cast<int64_t>(r.u64()));
     req.matmul_tiles = r.u64();
@@ -74,9 +78,18 @@ void load(wire::Reader &r, Request &req) {
     req.cost_only_level = r.u64();
     check(req.cost_only_level <= 64, "wire: bad cost-only level");
     const uint8_t count = r.u8();
-    check(count <= 3, "wire: bad input count");
-    check(req.cost_only ? count == 0 : count == op_arity(req.op),
-          "wire: input count does not match op");
+    if (req.op == Op::Program) {
+        // The exact arity is the shipped program's input count; the
+        // server checks it after parsing the program with its context.
+        // 64 matches the Program IR's own input bound.
+        check(count <= 64, "wire: bad input count");
+        check(!req.cost_only || count == 0,
+              "wire: cost-only request with inputs");
+    } else {
+        check(count <= 3, "wire: bad input count");
+        check(req.cost_only ? count == 0 : count == op_arity(req.op),
+              "wire: input count does not match op");
+    }
     req.inputs.clear();
     req.inputs.reserve(count);
     for (uint8_t i = 0; i < count; ++i) {
@@ -84,6 +97,12 @@ void load(wire::Reader &r, Request &req) {
         const auto view = r.bytes(len);  // bounds-checked
         req.inputs.emplace_back(view.begin(), view.end());
     }
+    const uint64_t program_len = r.u64();
+    check(program_len <= (1u << 24), "wire: oversized program");
+    check(req.op == Op::Program ? program_len > 0 : program_len == 0,
+          "wire: program bytes do not match op");
+    const auto program = r.bytes(program_len);
+    req.program.assign(program.begin(), program.end());
 }
 
 void save(wire::Writer &w, const Response &resp) {

@@ -12,8 +12,9 @@
 namespace xehe::serve {
 
 /// The server-side operations a request can name: the five benchmarked
-/// routines of Section IV-C plus the matmul tile-accumulation job of
-/// Section IV-E.
+/// routines of Section IV-C, the matmul tile-accumulation job of
+/// Section IV-E, and Program — an arbitrary client-defined he:: circuit
+/// shipped as wire bytes, so new workloads need no server change.
 enum class Op : uint8_t {
     MulLin = 0,
     MulLinRS = 1,
@@ -21,11 +22,14 @@ enum class Op : uint8_t {
     MulLinRSModSwAdd = 3,
     Rotate = 4,
     MatmulTile = 5,
+    Program = 6,
 };
 
 const char *op_name(Op op);
 
-/// Operand ciphertexts required by an op (1 to 3).
+/// Operand ciphertexts required by a fixed-function op (1 to 3).  For
+/// Op::Program the arity is the shipped program's input count; this
+/// returns 0.
 std::size_t op_arity(Op op);
 
 struct Request {
@@ -41,8 +45,12 @@ struct Request {
     bool cost_only = false;
     uint64_t cost_only_level = 0;
     /// Operand ciphertexts, each a self-contained wire envelope
-    /// (wire::serialize of a ckks::Ciphertext), in op order.
+    /// (wire::serialize of a ckks::Ciphertext), in op order (for
+    /// Op::Program: in program-input order).
     std::vector<std::vector<uint8_t>> inputs;
+    /// Op::Program only: the circuit, a self-contained wire envelope
+    /// (wire::serialize of an he::Program with exactly one output).
+    std::vector<uint8_t> program;
 };
 
 struct Response {

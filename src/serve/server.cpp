@@ -5,6 +5,20 @@
 
 namespace xehe::serve {
 
+// The first five Op values name the Section IV-C routines in Routine
+// order, so the server can map a fixed-function request straight onto its
+// canonical program.
+static_assert(static_cast<int>(Op::MulLin) ==
+                  static_cast<int>(core::Routine::MulLin) &&
+              static_cast<int>(Op::MulLinRS) ==
+                  static_cast<int>(core::Routine::MulLinRS) &&
+              static_cast<int>(Op::SqrLinRS) ==
+                  static_cast<int>(core::Routine::SqrLinRS) &&
+              static_cast<int>(Op::MulLinRSModSwAdd) ==
+                  static_cast<int>(core::Routine::MulLinRSModSwAdd) &&
+              static_cast<int>(Op::Rotate) ==
+                  static_cast<int>(core::Routine::Rotate));
+
 namespace {
 
 constexpr double kScale = 1099511627776.0;  // 2^40
@@ -151,15 +165,26 @@ Response InferenceServer::execute(const Request &request,
     resp.dispatch_ns = gpu.queue().clock_ns();
 
     try {
-        const bool needs_relin =
-            request.op != Op::Rotate && request.op != Op::MatmulTile;
+        // An attached circuit is parsed (and validated) first: its input
+        // count is the request's arity.
+        he::Program client_program;
+        const bool is_program = request.op == Op::Program;
+        if (is_program) {
+            client_program = he::load_program(request.program, *host_);
+            util::require(client_program.outputs.size() == 1,
+                          "served programs must have exactly one output");
+        }
+
+        const bool needs_relin = request.op != Op::Rotate &&
+                                 request.op != Op::MatmulTile && !is_program;
         util::require(!needs_relin || has_relin_,
                       "relin keys not registered");
         util::require(request.op != Op::Rotate || has_galois_,
                       "galois keys not registered");
 
         // Operands: deserialize + upload, or fabricate for cost-only.
-        const std::size_t arity = op_arity(request.op);
+        const std::size_t arity =
+            is_program ? client_program.num_inputs : op_arity(request.op);
         std::vector<core::GpuCiphertext> inputs;
         inputs.reserve(arity);
         if (request.cost_only) {
@@ -179,45 +204,53 @@ Response InferenceServer::execute(const Request &request,
             }
         }
 
-        core::GpuCiphertext result;
-        switch (request.op) {
-            case Op::MulLin:
-                result = evaluator.mul_lin(inputs[0], inputs[1], relin_);
-                break;
-            case Op::MulLinRS:
-                result = evaluator.mul_lin_rs(inputs[0], inputs[1], relin_);
-                break;
-            case Op::SqrLinRS:
-                result = evaluator.sqr_lin_rs(inputs[0], relin_);
-                break;
-            case Op::MulLinRSModSwAdd:
-                result = evaluator.mul_lin_rs_modsw_add(inputs[0], inputs[1],
-                                                        inputs[2], relin_);
-                break;
-            case Op::Rotate:
-                result = evaluator.rotate(inputs[0], request.rotate_step,
-                                          galois_);
-                break;
-            case Op::MatmulTile: {
-                // One output tile of the encrypted matmul: a chain of
-                // fused multiply-accumulates into one accumulator,
-                // strictly ordered on the session's lane (Section IV-E).
-                result = core::allocate_ciphertext(
-                    gpu, 3, inputs[0].rns,
-                    inputs[0].scale * inputs[1].scale);
-                for (uint64_t t = 0; t < request.matmul_tiles; ++t) {
-                    evaluator.multiply_acc(inputs[0], inputs[1], result);
-                }
-                break;
+        he::GpuBackend backend(gpu, evaluator);
+        he::Cipher result;
+        if (request.op == Op::MatmulTile) {
+            // One output tile of the encrypted matmul: a chain of fused
+            // multiply-accumulates into one accumulator, strictly ordered
+            // on the session's lane (Section IV-E).
+            core::GpuCiphertext acc = core::allocate_ciphertext(
+                gpu, 3, inputs[0].rns, inputs[0].scale * inputs[1].scale);
+            for (uint64_t t = 0; t < request.matmul_tiles; ++t) {
+                evaluator.multiply_acc(inputs[0], inputs[1], acc);
             }
+            result = backend.adopt(std::move(acc));
+        } else {
+            // Everything else is a program: either the client's circuit
+            // or the canonical program of the named routine — one
+            // execution path for fixed-function and arbitrary requests.
+            he::Program stepped_rotate;
+            const he::Program *program = nullptr;
+            if (is_program) {
+                program = &client_program;
+            } else if (request.op == Op::Rotate && request.rotate_step != 1) {
+                stepped_rotate = he::rotate_program(request.rotate_step);
+                program = &stepped_rotate;
+            } else {
+                program = &core::routine_program(
+                    static_cast<core::Routine>(request.op));
+            }
+            he::ProgramKeys keys;
+            keys.relin = has_relin_ ? &relin_ : nullptr;
+            keys.galois = has_galois_ ? &galois_ : nullptr;
+            std::vector<he::Cipher> operands;
+            operands.reserve(inputs.size());
+            for (auto &ct : inputs) {
+                operands.push_back(backend.adopt(std::move(ct)));
+            }
+            result = std::move(
+                he::run_program(*program, backend, operands, keys).front());
         }
 
         if (config_.functional) {
             // Download blocks the lane (the Decrypt-side synchronization
             // of Fig. 2) and the response carries the result bytes.
-            resp.result = wire::serialize(core::download(gpu, result));
+            resp.result =
+                wire::serialize(core::download(gpu, backend.native(result)));
         } else {
-            gpu.queue().transfer(result.all().size() * sizeof(uint64_t));
+            gpu.queue().transfer(backend.native(result).all().size() *
+                                 sizeof(uint64_t));
         }
         resp.ok = true;
     } catch (const std::exception &e) {

@@ -36,7 +36,9 @@ public:
 };
 
 inline constexpr uint32_t kMagic = 0x45484558u;  ///< "XEHE", little-endian
-inline constexpr uint16_t kVersion = 1;
+/// Version 2: adds the Program payload (he:: circuit IR) and the program
+/// field of serve::Request.  Loads reject other versions.
+inline constexpr uint16_t kVersion = 2;
 /// Envelope header: magic + version + reserved + payload length.
 inline constexpr std::size_t kHeaderBytes = 16;
 /// Envelope overhead: 16-byte header + 8-byte payload checksum.
@@ -56,6 +58,8 @@ enum class Tag : uint8_t {
     // 11/12 are reserved for serve::Request / serve::Response.
     Request = 11,
     Response = 12,
+    // 13 is the he:: circuit IR (save/load live in src/he/program.cpp).
+    Program = 13,
 };
 
 /// Little-endian byte sink.  The sizing() variant only counts, which is

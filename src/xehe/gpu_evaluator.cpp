@@ -14,7 +14,7 @@ GpuEvaluator::GpuEvaluator(GpuContext &gpu)
 void GpuEvaluator::submit_dyadic(const char *name, std::size_t elements,
                                  double ops_per_element, double streams,
                                  std::function<void(std::size_t)> body,
-                                 bool is_ntt, double gmem_eff) {
+                                 bool is_ntt, double gmem_eff) const {
     xgpu::KernelStats stats;
     stats.name = name;
     stats.is_ntt = is_ntt;
@@ -29,7 +29,7 @@ void GpuEvaluator::submit_dyadic(const char *name, std::size_t elements,
 }
 
 GpuCiphertext GpuEvaluator::add(const GpuCiphertext &a,
-                                const GpuCiphertext &b) {
+                                const GpuCiphertext &b) const {
     util::require(a.rns == b.rns && a.size == b.size, "add: shape mismatch");
     util::require(std::abs(a.scale / b.scale - 1.0) < 1e-6,
                   "add: scale mismatch");
@@ -47,7 +47,8 @@ GpuCiphertext GpuEvaluator::add(const GpuCiphertext &a,
     return out;
 }
 
-void GpuEvaluator::add_inplace(GpuCiphertext &a, const GpuCiphertext &b) {
+void GpuEvaluator::add_inplace(GpuCiphertext &a,
+                               const GpuCiphertext &b) const {
     util::require(a.rns == b.rns && a.size == b.size, "add: shape mismatch");
     const std::size_t n = a.n;
     const std::size_t per_poly = a.rns * n;
@@ -62,7 +63,7 @@ void GpuEvaluator::add_inplace(GpuCiphertext &a, const GpuCiphertext &b) {
 }
 
 GpuCiphertext GpuEvaluator::sub(const GpuCiphertext &a,
-                                const GpuCiphertext &b) {
+                                const GpuCiphertext &b) const {
     util::require(a.rns == b.rns && a.size == b.size, "sub: shape mismatch");
     util::require(std::abs(a.scale / b.scale - 1.0) < 1e-6,
                   "sub: scale mismatch");
@@ -80,7 +81,7 @@ GpuCiphertext GpuEvaluator::sub(const GpuCiphertext &a,
     return out;
 }
 
-GpuCiphertext GpuEvaluator::negate(const GpuCiphertext &a) {
+GpuCiphertext GpuEvaluator::negate(const GpuCiphertext &a) const {
     GpuCiphertext out = allocate_ciphertext(*gpu_, a.size, a.rns, a.scale);
     const std::size_t n = a.n;
     const std::size_t per_poly = a.rns * n;
@@ -96,7 +97,7 @@ GpuCiphertext GpuEvaluator::negate(const GpuCiphertext &a) {
 }
 
 GpuCiphertext GpuEvaluator::add_plain(const GpuCiphertext &a,
-                                      const ckks::Plaintext &p) {
+                                      const ckks::Plaintext &p) const {
     util::require(a.rns == p.rns && a.n == p.n, "add_plain: level mismatch");
     util::require(std::abs(a.scale / p.scale - 1.0) < 1e-6,
                   "add_plain: scale mismatch");
@@ -119,7 +120,7 @@ GpuCiphertext GpuEvaluator::add_plain(const GpuCiphertext &a,
 }
 
 GpuCiphertext GpuEvaluator::multiply_plain(const GpuCiphertext &a,
-                                           const ckks::Plaintext &p) {
+                                           const ckks::Plaintext &p) const {
     util::require(a.rns == p.rns && a.n == p.n,
                   "multiply_plain: level mismatch");
     GpuCiphertext out =
@@ -140,7 +141,7 @@ GpuCiphertext GpuEvaluator::multiply_plain(const GpuCiphertext &a,
 }
 
 GpuCiphertext GpuEvaluator::multiply(const GpuCiphertext &a,
-                                     const GpuCiphertext &b) {
+                                     const GpuCiphertext &b) const {
     util::require(a.size == 2 && b.size == 2 && a.rns == b.rns,
                   "multiply expects size-2 operands at the same level");
     GpuCiphertext out =
@@ -189,7 +190,7 @@ GpuCiphertext GpuEvaluator::multiply(const GpuCiphertext &a,
     return out;
 }
 
-GpuCiphertext GpuEvaluator::square(const GpuCiphertext &a) {
+GpuCiphertext GpuEvaluator::square(const GpuCiphertext &a) const {
     util::require(a.size == 2, "square expects a size-2 ciphertext");
     GpuCiphertext out = allocate_ciphertext(*gpu_, 3, a.rns, a.scale * a.scale);
     const std::size_t n = a.n;
@@ -210,7 +211,7 @@ GpuCiphertext GpuEvaluator::square(const GpuCiphertext &a) {
 }
 
 void GpuEvaluator::multiply_acc(const GpuCiphertext &a, const GpuCiphertext &b,
-                                GpuCiphertext &acc) {
+                                GpuCiphertext &acc) const {
     util::require(a.size == 2 && b.size == 2 && acc.size == 3,
                   "multiply_acc expects size-2 inputs and a size-3 "
                   "accumulator");
@@ -255,7 +256,7 @@ void GpuEvaluator::multiply_acc(const GpuCiphertext &a, const GpuCiphertext &b,
 
 void GpuEvaluator::switch_key_inplace(GpuCiphertext &dest,
                                       std::span<const uint64_t> target,
-                                      const KSwitchKey &key) {
+                                      const KSwitchKey &key) const {
     const std::size_t n = ctx_->n();
     const std::size_t l = dest.rns;
     const std::size_t special = ctx_->key_rns() - 1;
@@ -404,7 +405,8 @@ void GpuEvaluator::switch_key_inplace(GpuCiphertext &dest,
 /// The NTT + mod-down tail of one (part, limb) step in the unfused path.
 void GpuEvaluator::finish_mod_down(GpuCiphertext &dest,
                                    std::span<uint64_t> acc, int part,
-                                   std::size_t j, std::span<uint64_t> t) {
+                                   std::size_t j,
+                                   std::span<uint64_t> t) const {
     gpu_->gpu_ntt().forward(t, 1, table_span(j));
     xgpu::FusionBuilder single = dyadic_group();
     record_mod_down(single, dest, acc, part, j, t);
@@ -415,7 +417,8 @@ void GpuEvaluator::finish_mod_down(GpuCiphertext &dest,
 void GpuEvaluator::record_mod_down(xgpu::FusionBuilder &group,
                                    GpuCiphertext &dest,
                                    std::span<uint64_t> acc, int part,
-                                   std::size_t j, std::span<const uint64_t> t) {
+                                   std::size_t j,
+                                   std::span<const uint64_t> t) const {
     const std::size_t n = ctx_->n();
     const Modulus &qj = ctx_->key_modulus()[j];
     auto aj = acc.subspan(j * n, n);
@@ -432,7 +435,7 @@ void GpuEvaluator::record_mod_down(xgpu::FusionBuilder &group,
 }
 
 GpuCiphertext GpuEvaluator::relinearize(const GpuCiphertext &a,
-                                        const RelinKeys &keys) {
+                                        const RelinKeys &keys) const {
     util::require(a.size == 3, "relinearize expects a size-3 ciphertext");
     GpuCiphertext out = allocate_ciphertext(*gpu_, 2, a.rns, a.scale);
     const auto src = a.all();
@@ -445,7 +448,7 @@ GpuCiphertext GpuEvaluator::relinearize(const GpuCiphertext &a,
     return out;
 }
 
-GpuCiphertext GpuEvaluator::rescale(const GpuCiphertext &a) {
+GpuCiphertext GpuEvaluator::rescale(const GpuCiphertext &a) const {
     util::require(a.rns >= 2, "cannot rescale at the last level");
     const std::size_t n = a.n;
     const std::size_t last = a.rns - 1;
@@ -521,7 +524,7 @@ GpuCiphertext GpuEvaluator::rescale(const GpuCiphertext &a) {
     return out;
 }
 
-GpuCiphertext GpuEvaluator::mod_switch(const GpuCiphertext &a) {
+GpuCiphertext GpuEvaluator::mod_switch(const GpuCiphertext &a) const {
     util::require(a.rns >= 2, "cannot switch below one prime");
     GpuCiphertext out = allocate_ciphertext(*gpu_, a.size, a.rns - 1, a.scale);
     const std::size_t n = a.n;
@@ -540,9 +543,29 @@ GpuCiphertext GpuEvaluator::mod_switch(const GpuCiphertext &a) {
 }
 
 GpuCiphertext GpuEvaluator::rotate(const GpuCiphertext &a, int step,
-                                   const GaloisKeys &keys) {
+                                   const GaloisKeys &keys) const {
+    return apply_galois(a, galois_.elt_from_step(step), keys);
+}
+
+GpuCiphertext GpuEvaluator::conjugate(const GpuCiphertext &a,
+                                      const GaloisKeys &keys) const {
+    return apply_galois(a, galois_.conjugation_elt(), keys);
+}
+
+GpuCiphertext GpuEvaluator::set_scale(const GpuCiphertext &a,
+                                      double scale) const {
+    GpuCiphertext out = allocate_ciphertext(*gpu_, a.size, a.rns, scale);
+    const auto src = a.all();
+    auto dst = out.all();
+    submit_dyadic("set_scale_copy", src.size(), 0.0, 2.0,
+                  [=](std::size_t i) { dst[i] = src[i]; });
+    gpu_->maybe_sync();
+    return out;
+}
+
+GpuCiphertext GpuEvaluator::apply_galois(const GpuCiphertext &a, uint64_t elt,
+                                         const GaloisKeys &keys) const {
     util::require(a.size == 2, "rotate expects a size-2 ciphertext");
-    const uint64_t elt = galois_.elt_from_step(step);
     const std::size_t n = a.n;
     GpuCiphertext out = allocate_ciphertext(*gpu_, 2, a.rns, a.scale);
     auto rotated_c1 = gpu_->allocate(a.rns * n);
@@ -585,46 +608,44 @@ GpuCiphertext GpuEvaluator::rotate(const GpuCiphertext &a, int step,
 
 GpuCiphertext GpuEvaluator::mul_lin(const GpuCiphertext &a,
                                     const GpuCiphertext &b,
-                                    const RelinKeys &keys) {
+                                    const RelinKeys &keys) const {
     return relinearize(multiply(a, b), keys);
 }
 
 GpuCiphertext GpuEvaluator::mul_lin_rs(const GpuCiphertext &a,
                                        const GpuCiphertext &b,
-                                       const RelinKeys &keys) {
+                                       const RelinKeys &keys) const {
     return rescale(relinearize(multiply(a, b), keys));
 }
 
 GpuCiphertext GpuEvaluator::sqr_lin_rs(const GpuCiphertext &a,
-                                       const RelinKeys &keys) {
+                                       const RelinKeys &keys) const {
     return rescale(relinearize(square(a), keys));
 }
 
-GpuCiphertext GpuEvaluator::mul_lin_rs_modsw_add(const GpuCiphertext &a,
-                                                 const GpuCiphertext &b,
-                                                 const GpuCiphertext &c,
-                                                 const RelinKeys &keys) {
-    GpuCiphertext prod = mul_lin_rs(a, b, keys);
+GpuCiphertext GpuEvaluator::mod_switch_add(const GpuCiphertext &a,
+                                           const GpuCiphertext &c) const {
+    util::require(c.rns == a.rns + 1 && c.size == a.size,
+                  "mod-switch-add: level mismatch");
     if (!gpu_->options().fuse_dyadic) {
         GpuCiphertext c_down = mod_switch(c);
         // Align scales for the addition (CKKS approximate-scale
         // bookkeeping).
-        c_down.scale = prod.scale;
-        add_inplace(prod, c_down);
-        return prod;
+        c_down.scale = a.scale;
+        return add(a, c_down);
     }
     // Fused tail: the mod-switched addend is gathered and added in one
     // launch — the c_down intermediate ciphertext is never materialized
     // (one fewer MemoryCache request, its write+read round trip saved).
-    util::require(c.rns == prod.rns + 1 && c.size == prod.size,
-                  "mod-switch-add: level mismatch");
-    const std::size_t n = prod.n;
-    const std::size_t new_rns = prod.rns;
+    GpuCiphertext out = allocate_ciphertext(*gpu_, a.size, a.rns, a.scale);
+    const std::size_t n = a.n;
+    const std::size_t new_rns = a.rns;
     const std::size_t src_rns = c.rns;
     const std::size_t per_poly = new_rns * n;
-    const std::size_t count = prod.size * per_poly;
-    auto sp = prod.all();
+    const std::size_t count = a.size * per_poly;
+    const auto sa = a.all();
     const auto sc = c.all();
+    auto so = out.all();
     xgpu::FusionBuilder group = dyadic_group();
     group.stage("mod_switch_copy", count, 0.0, 2.0, [](std::size_t) {
              // Folded into the chained addition below, which gathers the
@@ -636,13 +657,20 @@ GpuCiphertext GpuEvaluator::mul_lin_rs_modsw_add(const GpuCiphertext &a,
                   const std::size_t poly_i = i / per_poly;
                   const std::size_t rest = i % per_poly;
                   const Modulus &q = modulus_at(rest, n);
-                  sp[i] = util::add_mod(sp[i], sc[poly_i * src_rns * n + rest],
+                  so[i] = util::add_mod(sa[i], sc[poly_i * src_rns * n + rest],
                                         q);
               },
               /*shared_streams=*/2.0);
     group.submit();
     gpu_->maybe_sync();
-    return prod;
+    return out;
+}
+
+GpuCiphertext GpuEvaluator::mul_lin_rs_modsw_add(const GpuCiphertext &a,
+                                                 const GpuCiphertext &b,
+                                                 const GpuCiphertext &c,
+                                                 const RelinKeys &keys) const {
+    return mod_switch_add(mul_lin_rs(a, b, keys), c);
 }
 
 }  // namespace xehe::core

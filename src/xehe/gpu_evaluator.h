@@ -33,53 +33,80 @@ class GpuEvaluator {
 public:
     explicit GpuEvaluator(GpuContext &gpu);
 
+    /// The bound execution context.  Non-mutating primitives are const
+    /// member functions (they submit kernels through the context, never
+    /// touch evaluator state), so holders like he::GpuBackend can keep a
+    /// `const GpuEvaluator &`.
+    GpuContext &gpu() const noexcept { return *gpu_; }
+
     // --- primitives -----------------------------------------------------
-    GpuCiphertext add(const GpuCiphertext &a, const GpuCiphertext &b);
-    void add_inplace(GpuCiphertext &a, const GpuCiphertext &b);
-    GpuCiphertext sub(const GpuCiphertext &a, const GpuCiphertext &b);
-    GpuCiphertext negate(const GpuCiphertext &a);
+    GpuCiphertext add(const GpuCiphertext &a, const GpuCiphertext &b) const;
+    void add_inplace(GpuCiphertext &a, const GpuCiphertext &b) const;
+    GpuCiphertext sub(const GpuCiphertext &a, const GpuCiphertext &b) const;
+    GpuCiphertext negate(const GpuCiphertext &a) const;
     /// c0 += encoded plaintext (same level and scale).
-    GpuCiphertext add_plain(const GpuCiphertext &a, const ckks::Plaintext &p);
+    GpuCiphertext add_plain(const GpuCiphertext &a,
+                            const ckks::Plaintext &p) const;
     /// Dyadic product with an encoded plaintext; scale multiplies.
     GpuCiphertext multiply_plain(const GpuCiphertext &a,
-                                 const ckks::Plaintext &p);
-    GpuCiphertext multiply(const GpuCiphertext &a, const GpuCiphertext &b);
-    GpuCiphertext square(const GpuCiphertext &a);
+                                 const ckks::Plaintext &p) const;
+    GpuCiphertext multiply(const GpuCiphertext &a,
+                           const GpuCiphertext &b) const;
+    GpuCiphertext square(const GpuCiphertext &a) const;
     /// acc (size 3) += a * b — the matmul inner loop, one fused kernel pass
     /// when mad_mod fusion is enabled.
     void multiply_acc(const GpuCiphertext &a, const GpuCiphertext &b,
-                      GpuCiphertext &acc);
-    GpuCiphertext relinearize(const GpuCiphertext &a, const RelinKeys &keys);
-    GpuCiphertext rescale(const GpuCiphertext &a);
-    GpuCiphertext mod_switch(const GpuCiphertext &a);
+                      GpuCiphertext &acc) const;
+    GpuCiphertext relinearize(const GpuCiphertext &a,
+                              const RelinKeys &keys) const;
+    GpuCiphertext rescale(const GpuCiphertext &a) const;
+    GpuCiphertext mod_switch(const GpuCiphertext &a) const;
+    /// a + (c mod-switched one level down, adopting a's scale) — the tail
+    /// of MulLinRSModSwAdd.  With fuse_dyadic the gather and addition are
+    /// one launch and the mod-switched intermediate never materializes.
+    GpuCiphertext mod_switch_add(const GpuCiphertext &a,
+                                 const GpuCiphertext &c) const;
     GpuCiphertext rotate(const GpuCiphertext &a, int step,
-                         const GaloisKeys &keys);
+                         const GaloisKeys &keys) const;
+    /// Complex conjugation of the slots (the conjugation Galois key must be
+    /// present in `keys`).
+    GpuCiphertext conjugate(const GpuCiphertext &a,
+                            const GaloisKeys &keys) const;
+    /// Device copy of `a` carrying different scale metadata (one copy
+    /// kernel, no arithmetic) — the he:: frontend's explicit scale
+    /// override on a shared handle.
+    GpuCiphertext set_scale(const GpuCiphertext &a, double scale) const;
 
     // --- the five benchmarked routines (Section IV-C) -------------------
     GpuCiphertext mul_lin(const GpuCiphertext &a, const GpuCiphertext &b,
-                          const RelinKeys &keys);
+                          const RelinKeys &keys) const;
     GpuCiphertext mul_lin_rs(const GpuCiphertext &a, const GpuCiphertext &b,
-                             const RelinKeys &keys);
-    GpuCiphertext sqr_lin_rs(const GpuCiphertext &a, const RelinKeys &keys);
+                             const RelinKeys &keys) const;
+    GpuCiphertext sqr_lin_rs(const GpuCiphertext &a,
+                             const RelinKeys &keys) const;
     GpuCiphertext mul_lin_rs_modsw_add(const GpuCiphertext &a,
                                        const GpuCiphertext &b,
                                        const GpuCiphertext &c,
-                                       const RelinKeys &keys);
+                                       const RelinKeys &keys) const;
 
 private:
+    /// Shared Galois-automorphism path of rotate / conjugate.
+    GpuCiphertext apply_galois(const GpuCiphertext &a, uint64_t elt,
+                               const GaloisKeys &keys) const;
+
     /// Adds the key-switched expansion of `target` into dest.poly(0/1).
     void switch_key_inplace(GpuCiphertext &dest,
                             std::span<const uint64_t> target,
-                            const KSwitchKey &key);
+                            const KSwitchKey &key) const;
 
     /// NTT + mod-down tail of one (part, limb) key-switch step (unfused).
     void finish_mod_down(GpuCiphertext &dest, std::span<uint64_t> acc,
-                         int part, std::size_t j, std::span<uint64_t> t);
+                         int part, std::size_t j, std::span<uint64_t> t) const;
 
     /// Records one limb's mod-down accumulation stage into `group`.
     void record_mod_down(xgpu::FusionBuilder &group, GpuCiphertext &dest,
                          std::span<uint64_t> acc, int part, std::size_t j,
-                         std::span<const uint64_t> t);
+                         std::span<const uint64_t> t) const;
 
     /// Submits an elementwise kernel over `elements` indices with
     /// `ops_per_element` int64 ops (already ISA-mode specific) and
@@ -87,11 +114,11 @@ private:
     void submit_dyadic(const char *name, std::size_t elements,
                        double ops_per_element, double streams,
                        std::function<void(std::size_t)> body,
-                       bool is_ntt = false, double gmem_eff = 1.0);
+                       bool is_ntt = false, double gmem_eff = 1.0) const;
 
     /// Fresh fusion recorder over the context's queue, honoring
     /// GpuOptions::fuse_dyadic.
-    xgpu::FusionBuilder dyadic_group() {
+    xgpu::FusionBuilder dyadic_group() const {
         return xgpu::FusionBuilder(gpu_->queue(), gpu_->options().fuse_dyadic,
                                    gpu_->options().wg_size);
     }

@@ -17,27 +17,39 @@ const char *routine_name(Routine r) {
     return "unknown";
 }
 
-void run_routine(GpuEvaluator &evaluator, Routine routine,
+const he::Program &routine_program(Routine r) {
+    static const he::Program mul_lin = he::mul_lin_program();
+    static const he::Program mul_lin_rs = he::mul_lin_rs_program();
+    static const he::Program sqr_lin_rs = he::sqr_lin_rs_program();
+    static const he::Program mul_lin_rs_modsw_add =
+        he::mul_lin_rs_modsw_add_program();
+    static const he::Program rotate = he::rotate_program(1);
+    switch (r) {
+        case Routine::MulLin: return mul_lin;
+        case Routine::MulLinRS: return mul_lin_rs;
+        case Routine::SqrLinRS: return sqr_lin_rs;
+        case Routine::MulLinRSModSwAdd: return mul_lin_rs_modsw_add;
+        case Routine::Rotate: return rotate;
+    }
+    util::require(false, "unknown routine");
+    return mul_lin;  // unreachable
+}
+
+void run_routine(const GpuEvaluator &evaluator, Routine routine,
                  const GpuCiphertext &a, const GpuCiphertext &b,
                  const GpuCiphertext &c, const ckks::RelinKeys &relin,
                  const ckks::GaloisKeys &galois) {
-    switch (routine) {
-        case Routine::MulLin:
-            evaluator.mul_lin(a, b, relin);
-            break;
-        case Routine::MulLinRS:
-            evaluator.mul_lin_rs(a, b, relin);
-            break;
-        case Routine::SqrLinRS:
-            evaluator.sqr_lin_rs(a, relin);
-            break;
-        case Routine::MulLinRSModSwAdd:
-            evaluator.mul_lin_rs_modsw_add(a, b, c, relin);
-            break;
-        case Routine::Rotate:
-            evaluator.rotate(a, 1, galois);
-            break;
-    }
+    he::GpuBackend backend(evaluator.gpu(), evaluator);
+    const he::Program &program = routine_program(routine);
+    const he::Cipher inputs[3] = {backend.wrap(a), backend.wrap(b),
+                                  backend.wrap(c)};
+    he::ProgramKeys keys;
+    keys.relin = &relin;
+    keys.galois = &galois;
+    he::run_program(program, backend,
+                    std::span<const he::Cipher>(inputs).first(
+                        program.num_inputs),
+                    keys);
 }
 
 RoutineBench::RoutineBench(const ckks::CkksContext &host,

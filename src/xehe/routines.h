@@ -4,7 +4,7 @@
 // non-NTT simulated-time split the paper's Figures 5, 16 and 18 plot.
 #pragma once
 
-#include "xehe/gpu_evaluator.h"
+#include "he/program.h"
 
 namespace xehe::core {
 
@@ -16,10 +16,17 @@ inline constexpr Routine kAllRoutines[] = {
 
 const char *routine_name(Routine r);
 
-/// Runs one Section IV-C routine through `evaluator` on the given inputs.
-/// Shared by RoutineBench and the batched evaluator pool; the result is
-/// discarded (the paper benchmarks the kernels, not the outputs).
-void run_routine(GpuEvaluator &evaluator, Routine routine,
+/// The canonical he::Program of one routine (cached; rotation step 1).
+/// Every execution path — RoutineBench, the batched evaluator pool, the
+/// serving frontend — interprets these over a GpuBackend, so the routines
+/// have exactly one definition.
+const he::Program &routine_program(Routine r);
+
+/// Runs one Section IV-C routine through `evaluator` on the given inputs
+/// by interpreting its canonical he::Program.  Shared by RoutineBench and
+/// the batched evaluator pool; the result is discarded (the paper
+/// benchmarks the kernels, not the outputs).
+void run_routine(const GpuEvaluator &evaluator, Routine routine,
                  const GpuCiphertext &a, const GpuCiphertext &b,
                  const GpuCiphertext &c, const ckks::RelinKeys &relin,
                  const ckks::GaloisKeys &galois);
@@ -47,11 +54,13 @@ public:
 
     GpuContext &gpu() noexcept { return gpu_; }
 
-    /// The three GPU-resident inputs (0 = a, 1 = b, 2 = c).  In functional
-    /// mode they are pairwise-independent encryptions: each input's slot
-    /// values and encryption randomness come from their own RNG streams,
-    /// seeded from the bench seed and the input index.
+    /// The three GPU-resident inputs (0 = a, 1 = b, 2 = c); any other
+    /// index throws.  In functional mode they are pairwise-independent
+    /// encryptions: each input's slot values and encryption randomness
+    /// come from their own RNG streams, seeded from the bench seed and
+    /// the input index.
     const GpuCiphertext &input(std::size_t i) const {
+        util::require(i < 3, "RoutineBench::input index out of range");
         return i == 0 ? input_a_ : i == 1 ? input_b_ : input_c_;
     }
 
