@@ -1,0 +1,218 @@
+// Program-compiler ablation: raw node-by-node interpretation vs
+// he::ProgramCompiler output on Device1, cost-only at the paper's
+// N = 32K / L = 8 operating point.  Three suites:
+//
+//  - redundant: a circuit that over-mod-switches both add operands,
+//    duplicates subexpressions and carries dead nodes — the planner must
+//    strip the over-switching (strictly fewer levels consumed) while CSE
+//    and DCE erase the redundant work.
+//  - deep: duplicated square -> relinearize -> rescale towers — CSE
+//    collapses the clone, so compiled interpretation must be >= 1.1x
+//    faster end-to-end on the simulated timeline.
+//  - routines: the five Section IV-C canonical programs, already in
+//    compiled normal form — the compile step must not regress them.
+//
+// `--json <path>` writes the deterministic simulated metrics; CI's
+// bench-smoke job merges them into the baseline gate.  Exits non-zero if
+// any suite misses its gate.
+#include <cstring>
+
+#include "bench_common.h"
+#include "he/compiler.h"
+
+namespace {
+
+using xehe::he::Program;
+using xehe::he::ProgramBuilder;
+
+/// Over-switched adds + duplicate subexpressions + a dead tower.
+Program redundant_program() {
+    ProgramBuilder b(2);
+    const auto a0 = b.input(0);
+    const auto a1 = b.input(1);
+    // Dead tower: DCE must drop all three nodes.
+    b.rescale(b.relinearize(b.square(a1)));
+    // Duplicate subexpression: CSE merges the negates.
+    const auto x = b.mod_switch(b.mod_switch(b.negate(a0)));
+    const auto y = b.mod_switch(b.mod_switch(a1));
+    const auto s = b.add(x, y);
+    b.output(b.add(s, b.mod_switch(b.mod_switch(b.negate(a0)))));
+    return b.build();
+}
+
+/// Two identical square/relin/rescale towers, three products deep.
+Program deep_program() {
+    ProgramBuilder b(1);
+    auto t1 = b.input(0);
+    auto t2 = b.input(0);
+    for (int stage = 0; stage < 3; ++stage) {
+        t1 = b.rescale(b.relinearize(b.square(t1)));
+        t2 = b.rescale(b.relinearize(b.square(t2)));
+    }
+    b.output(b.add(t1, t2));
+    return b.build();
+}
+
+}  // namespace
+
+int main(int argc, char **argv) {
+    using namespace bench;
+    namespace he = xehe::he;
+    namespace core = xehe::core;
+
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+
+    const xehe::ckks::CkksContext host(
+        xehe::ckks::EncryptionParameters::create(32768, 8));
+    const auto spec = xehe::xgpu::device1();
+    core::GpuOptions opts;
+    opts.isa = IsaMode::InlineAsm;
+    core::GpuContext gpu(host, spec, opts);
+    gpu.set_functional(false);
+    const core::GpuEvaluator evaluator(gpu);
+    he::GpuBackend backend(gpu, evaluator);
+
+    xehe::ckks::KeyGenerator keygen(host, 99);
+    const auto relin = keygen.create_relin_keys();
+    const int steps[] = {1};
+    const auto galois = keygen.create_galois_keys(steps);
+    he::ProgramKeys keys;
+    keys.relin = &relin;
+    keys.galois = &galois;
+
+    // Cost-only inputs at the planner's default operating point: the
+    // session scale (last data prime), context max level.
+    const double scale = static_cast<double>(
+        host.key_modulus()[host.max_level() - 1].value());
+    std::vector<core::GpuCiphertext> slots;
+    slots.reserve(3);
+    std::vector<he::Cipher> inputs;
+    for (int i = 0; i < 3; ++i) {
+        slots.push_back(core::allocate_ciphertext(gpu, 2, host.max_level(),
+                                                  scale));
+        inputs.push_back(backend.wrap(slots.back()));
+    }
+
+    const auto run_ms = [&](const Program &program,
+                            std::size_t num_inputs) {
+        auto &profiler = gpu.queue().profiler();
+        const double t0 = profiler.total_ns();
+        he::run_program(program, backend,
+                        std::span<const he::Cipher>(inputs).first(num_inputs),
+                        keys);
+        return (profiler.total_ns() - t0) * 1e-6;
+    };
+
+    he::CompilerOptions copts;
+    copts.input_scale = scale;
+    const he::ProgramCompiler compiler(host, copts);
+
+    print_header("Program compiler: optimized vs raw interpretation",
+                 "the he::ProgramCompiler pipeline on synthetic circuits "
+                 "and the Section IV-C routines");
+    std::printf("%-18s%8s%8s%10s%10s%10s%10s%10s\n", "suite", "nodes",
+                "nodes'", "levels", "levels'", "raw(ms)", "opt(ms)",
+                "speedup");
+
+    std::vector<JsonMetric> metrics;
+    bool ok = true;
+
+    // --- redundancy suite: the levels gate -----------------------------
+    {
+        const Program raw = redundant_program();
+        const auto compiled = compiler.compile(raw);
+        const auto before = raw.stats();
+        const auto after = compiled.program.stats();
+        const double raw_ms = run_ms(raw, raw.num_inputs);
+        const double opt_ms =
+            run_ms(compiled.program, compiled.program.num_inputs);
+        const double speedup = raw_ms / opt_ms;
+        std::printf("%-18s%8zu%8zu%10zu%10zu%10.3f%10.3f%9.2fx\n",
+                    "redundant", before.nodes, after.nodes,
+                    before.levels_consumed, after.levels_consumed, raw_ms,
+                    opt_ms, speedup);
+        metrics.push_back({"program_compile/redundant/raw_ms", raw_ms, "ms"});
+        metrics.push_back({"program_compile/redundant/opt_ms", opt_ms, "ms"});
+        metrics.push_back({"program_compile/redundant/time_speedup", speedup,
+                           "x"});
+        metrics.push_back(
+            {"program_compile/redundant/levels_consumed",
+             static_cast<double>(after.levels_consumed), "levels"});
+        if (after.levels_consumed >= before.levels_consumed) {
+            std::fprintf(stderr,
+                         "gate: redundancy suite must consume strictly "
+                         "fewer levels (%zu -> %zu)\n",
+                         before.levels_consumed, after.levels_consumed);
+            ok = false;
+        }
+    }
+
+    // --- deep suite: the end-to-end time gate --------------------------
+    {
+        const Program raw = deep_program();
+        const auto compiled = compiler.compile(raw);
+        const auto before = raw.stats();
+        const auto after = compiled.program.stats();
+        const double raw_ms = run_ms(raw, raw.num_inputs);
+        const double opt_ms =
+            run_ms(compiled.program, compiled.program.num_inputs);
+        const double speedup = raw_ms / opt_ms;
+        std::printf("%-18s%8zu%8zu%10zu%10zu%10.3f%10.3f%9.2fx\n", "deep",
+                    before.nodes, after.nodes, before.levels_consumed,
+                    after.levels_consumed, raw_ms, opt_ms, speedup);
+        metrics.push_back({"program_compile/deep/raw_ms", raw_ms, "ms"});
+        metrics.push_back({"program_compile/deep/opt_ms", opt_ms, "ms"});
+        metrics.push_back({"program_compile/deep/time_speedup", speedup,
+                           "x"});
+        if (speedup < 1.1) {
+            std::fprintf(stderr,
+                         "gate: deep suite speedup %.3fx below 1.1x\n",
+                         speedup);
+            ok = false;
+        }
+    }
+
+    // --- routine suite: the no-regression gate -------------------------
+    for (const core::Routine r : core::kAllRoutines) {
+        const Program &raw = core::routine_program(r);
+        const Program &opt = core::routine_program_compiled(r);
+        const auto before = raw.stats();
+        const auto after = opt.stats();
+        const double raw_ms = run_ms(raw, raw.num_inputs);
+        const double opt_ms = run_ms(opt, opt.num_inputs);
+        const double ratio = raw_ms / opt_ms;
+        std::printf("%-18s%8zu%8zu%10zu%10zu%10.3f%10.3f%9.2fx\n",
+                    core::routine_name(r), before.nodes, after.nodes,
+                    before.levels_consumed, after.levels_consumed, raw_ms,
+                    opt_ms, ratio);
+        metrics.push_back({std::string("program_compile/routine/") +
+                               core::routine_name(r) + "_speedup",
+                           ratio, "x"});
+        if (ratio < 0.995) {
+            std::fprintf(stderr,
+                         "gate: routine %s regressed to %.3fx under "
+                         "compilation\n",
+                         core::routine_name(r), ratio);
+            ok = false;
+        }
+    }
+
+    std::printf("\ngates: redundant levels strictly fewer; deep >= 1.1x; "
+                "routines >= 0.995x — %s\n",
+                ok ? "all hold" : "FAILED");
+
+    if (!json_path.empty()) {
+        if (!write_json(json_path, metrics, "fig_program_compile",
+                        spec.name.c_str())) {
+            return 2;
+        }
+        std::printf("wrote %zu metrics to %s\n", metrics.size(),
+                    json_path.c_str());
+    }
+    return ok ? 0 : 1;
+}

@@ -63,6 +63,15 @@ public:
     virtual Cipher upload(const ckks::Ciphertext &ct) = 0;
     virtual ckks::Ciphertext download(const Cipher &a) = 0;
 
+    // --- pre-planned fusion groups ------------------------------------
+    /// Brackets a compiler-planned run of mutually independent dyadic
+    /// ops: a fusing backend records the ops between begin and end and
+    /// submits them as one launch.  The default is a no-op (the host
+    /// backend has no launches to merge), so raw interpretation is
+    /// unaffected.  Groups do not nest.
+    virtual void begin_fusion_group() {}
+    virtual void end_fusion_group() {}
+
 protected:
     Backend() = default;
 
@@ -153,6 +162,9 @@ public:
 
     Cipher upload(const ckks::Ciphertext &ct) override;
     ckks::Ciphertext download(const Cipher &a) override;
+
+    void begin_fusion_group() override { evaluator_->begin_dyadic_group(); }
+    void end_fusion_group() override { evaluator_->end_dyadic_group(); }
 
     /// Takes ownership of a GPU ciphertext produced outside the frontend.
     Cipher adopt(core::GpuCiphertext ct);

@@ -1,5 +1,7 @@
 #include "he/program.h"
 
+#include <algorithm>
+#include <cstring>
 #include <string>
 
 namespace xehe::he {
@@ -38,6 +40,7 @@ const char *op_code_name(OpCode op) {
         case OpCode::Rotate: return "Rotate";
         case OpCode::Conjugate: return "Conjugate";
         case OpCode::ModSwitchAdd: return "ModSwitchAdd";
+        case OpCode::AdoptScale: return "AdoptScale";
     }
     return "unknown";
 }
@@ -50,7 +53,8 @@ std::size_t op_code_arity(OpCode op) {
         case OpCode::MultiplyPlain:
         case OpCode::Multiply:
         case OpCode::ModSwitchAdopt:
-        case OpCode::ModSwitchAdd: return 2;
+        case OpCode::ModSwitchAdd:
+        case OpCode::AdoptScale: return 2;
         case OpCode::Negate:
         case OpCode::Square:
         case OpCode::Relinearize:
@@ -60,6 +64,19 @@ std::size_t op_code_arity(OpCode op) {
         case OpCode::Conjugate: return 1;
     }
     return 0;
+}
+
+bool op_code_is_dyadic(OpCode op) {
+    switch (op) {
+        case OpCode::Add:
+        case OpCode::Sub:
+        case OpCode::Negate:
+        case OpCode::AddPlain:
+        case OpCode::MultiplyPlain:
+        case OpCode::Square:
+        case OpCode::AdoptScale: return true;
+        default: return false;
+    }
 }
 
 void Program::validate() const {
@@ -98,7 +115,147 @@ void Program::validate() const {
     for (const uint32_t out : outputs) {
         check(out < value_count(), "output references an undefined value");
         check(!is_constant(out), "output must be a ciphertext value");
+        // An output must name a computed node: echoing an input back as a
+        // result is defined out (the interpreter would return the
+        // caller's own handle, and the server would serve request bytes
+        // back as a "result").  Duplicate output entries, by contrast,
+        // are legal: they return the same shared handle twice, which CSE
+        // relies on when it merges structurally identical output nodes.
+        check(out >= node_base, "output must name a computed node, "
+                                "not a program input");
     }
+    // Fusion-group annotations are derived (compiler-written), but a
+    // malformed annotation would make the interpreter open unbalanced or
+    // non-dyadic FusionBuilder groups — validate them like everything
+    // else.
+    uint32_t previous_end = 0;
+    for (const FusionGroup &group : fusion_groups) {
+        check(group.first >= previous_end, "fusion groups must be sorted "
+                                           "and disjoint");
+        check(group.first < group.last, "empty fusion group");
+        check(group.last <= nodes.size(), "fusion group out of range");
+        for (uint32_t i = group.first; i < group.last; ++i) {
+            check(op_code_is_dyadic(nodes[i].op),
+                  "fusion group covers a non-dyadic op");
+        }
+        previous_end = group.last;
+    }
+}
+
+ProgramStats Program::stats() const {
+    ProgramStats s;
+    s.nodes = nodes.size();
+    s.constants = constants.size();
+    s.outputs = outputs.size();
+    s.fusion_groups = fusion_groups.size();
+    s.planned_launches = nodes.size();
+    for (const FusionGroup &group : fusion_groups) {
+        s.planned_launches -= (group.last - group.first) - 1;
+    }
+
+    // Depth and level drops per value, relative to the inputs (constants
+    // sit wherever their embedded level puts them; they contribute no
+    // drops of their own).
+    const uint32_t node_base =
+        num_inputs + static_cast<uint32_t>(constants.size());
+    std::vector<std::size_t> depth(value_count(), 0);
+    std::vector<std::size_t> drop(value_count(), 0);
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const Node &node = nodes[i];
+        const uint32_t v = node_base + static_cast<uint32_t>(i);
+        const bool binary_cipher =
+            op_code_arity(node.op) == 2 && !is_constant(node.b);
+        depth[v] = 1 + std::max(depth[node.a],
+                                binary_cipher ? depth[node.b] : 0);
+        switch (node.op) {
+            case OpCode::Multiply: s.multiplies++; break;
+            case OpCode::Square: s.multiplies++; break;
+            case OpCode::MultiplyPlain: s.plain_multiplies++; break;
+            case OpCode::Relinearize:
+            case OpCode::Rotate:
+            case OpCode::Conjugate: s.key_switches++; break;
+            case OpCode::Rescale: s.rescales++; break;
+            case OpCode::ModSwitch:
+            case OpCode::ModSwitchAdopt:
+            case OpCode::ModSwitchAdd: s.mod_switches++; break;
+            default: break;
+        }
+        switch (node.op) {
+            case OpCode::Rescale:
+            case OpCode::ModSwitch:
+            case OpCode::ModSwitchAdopt:
+                drop[v] = drop[node.a] + 1;
+                break;
+            case OpCode::ModSwitchAdd:
+                // Result stays at a's level; the addend c drops one.
+                drop[v] = std::max(drop[node.a], drop[node.b] + 1);
+                break;
+            default:
+                drop[v] = binary_cipher
+                              ? std::max(drop[node.a], drop[node.b])
+                              : drop[node.a];
+                break;
+        }
+    }
+    for (const uint32_t out : outputs) {
+        s.depth = std::max(s.depth, depth[out]);
+        s.levels_consumed = std::max(s.levels_consumed, drop[out]);
+    }
+    return s;
+}
+
+bool structurally_equal(const Program &a, const Program &b) {
+    if (a.num_inputs != b.num_inputs || a.outputs != b.outputs ||
+        a.nodes.size() != b.nodes.size() ||
+        a.constants.size() != b.constants.size()) {
+        return false;
+    }
+    for (std::size_t i = 0; i < a.nodes.size(); ++i) {
+        const Program::Node &x = a.nodes[i], &y = b.nodes[i];
+        if (x.op != y.op || x.a != y.a || x.b != y.b || x.imm != y.imm) {
+            return false;
+        }
+    }
+    for (std::size_t i = 0; i < a.constants.size(); ++i) {
+        const ckks::Plaintext &p = a.constants[i], &q = b.constants[i];
+        if (p.n != q.n || p.rns != q.rns || p.scale != q.scale ||
+            p.ntt_form != q.ntt_form || p.data != q.data) {
+            return false;
+        }
+    }
+    return true;
+}
+
+uint64_t fingerprint(const Program &program) {
+    uint64_t h = 0xcbf29ce484222325ull;
+    const auto mix = [&h](uint64_t v) {
+        for (int shift = 0; shift < 64; shift += 8) {
+            h = (h ^ ((v >> shift) & 0xff)) * 0x100000001b3ull;
+        }
+    };
+    mix(program.num_inputs);
+    mix(program.constants.size());
+    for (const auto &plain : program.constants) {
+        mix(plain.rns);
+        uint64_t scale_bits;
+        static_assert(sizeof(scale_bits) == sizeof(plain.scale));
+        std::memcpy(&scale_bits, &plain.scale, sizeof(scale_bits));
+        mix(scale_bits);
+        for (const uint64_t word : plain.data) {
+            mix(word);
+        }
+    }
+    mix(program.nodes.size());
+    for (const auto &node : program.nodes) {
+        mix(static_cast<uint64_t>(node.op));
+        mix(node.a);
+        mix(node.b);
+        mix(static_cast<uint64_t>(static_cast<uint32_t>(node.imm)));
+    }
+    for (const uint32_t out : program.outputs) {
+        mix(out);
+    }
+    return h;
 }
 
 // ---------------------------------------------------------------------------
@@ -199,7 +356,41 @@ std::vector<Cipher> run_program(const Program &program, Backend &backend,
         return *keys.galois;
     };
 
+    // Pre-planned fusion groups: the compiler's dyadic runs execute
+    // inside one backend fusion group (one launch on a fusing GPU
+    // backend).  While a group is open, operand releases are deferred —
+    // the recorded kernel bodies read the operand buffers only when the
+    // group submits, and an early release would let the memory cache
+    // recycle them underneath the launch.
+    std::size_t next_group = 0;
+    bool in_group = false;
+    // If a backend op throws mid-group (shape/scale preconditions), the
+    // group must still be closed on the way out or the backend's recorder
+    // would leak into the caller's next program.
+    struct GroupGuard {
+        Backend *backend;
+        const bool *open;
+        ~GroupGuard() {
+            if (*open) {
+                backend->end_fusion_group();
+            }
+        }
+    } group_guard{&backend, &in_group};
+    std::vector<uint32_t> deferred_releases;
+    const auto release = [&](uint32_t index) {
+        if (in_group) {
+            deferred_releases.push_back(index);
+        } else {
+            values[index] = Cipher{};
+        }
+    };
+
     for (std::size_t i = 0; i < program.nodes.size(); ++i) {
+        if (next_group < program.fusion_groups.size() &&
+            i == program.fusion_groups[next_group].first) {
+            backend.begin_fusion_group();
+            in_group = true;
+        }
         const Program::Node &node = program.nodes[i];
         const Cipher &a = values[node.a];
         Cipher out;
@@ -240,6 +431,9 @@ std::vector<Cipher> run_program(const Program &program, Backend &backend,
             case OpCode::ModSwitchAdd:
                 out = backend.mod_switch_add(a, values[node.b]);
                 break;
+            case OpCode::AdoptScale:
+                out = backend.set_scale(a, values[node.b].scale());
+                break;
             case OpCode::Rotate:
                 out = backend.rotate(a, node.imm, galois());
                 break;
@@ -251,13 +445,22 @@ std::vector<Cipher> run_program(const Program &program, Backend &backend,
         // Drop operands this node consumed last, and the result itself if
         // nothing (and no output) ever reads it.
         if (last_use[node.a] == i + 1) {
-            values[node.a] = Cipher{};
+            release(node.a);
         }
         if (op_code_arity(node.op) == 2 && last_use[node.b] == i + 1) {
-            values[node.b] = Cipher{};
+            release(node.b);
         }
         if (last_use[node_base + i] == 0) {
-            values[node_base + i] = Cipher{};
+            release(node_base + static_cast<uint32_t>(i));
+        }
+        if (in_group && i + 1 == program.fusion_groups[next_group].last) {
+            backend.end_fusion_group();
+            in_group = false;
+            ++next_group;
+            for (const uint32_t index : deferred_releases) {
+                values[index] = Cipher{};
+            }
+            deferred_releases.clear();
         }
     }
 

@@ -44,14 +44,47 @@ enum class OpCode : uint8_t {
     /// — the MulLinRSModSwAdd tail as one op, which the GPU backend
     /// executes as a single fused gather+add launch.
     ModSwitchAdd = 13,
+    /// (cipher a, cipher ref): copy of `a` carrying `ref`'s scale
+    /// metadata — the compiler's scale-snap repair (Backend::set_scale,
+    /// one copy kernel on the GPU backend).  Emitted by
+    /// he::ProgramCompiler; pre-compiler wire readers reject the opcode,
+    /// but the wire format itself is unchanged (no version bump).
+    AdoptScale = 14,
 };
 
 inline constexpr uint8_t kMaxOpCode =
-    static_cast<uint8_t>(OpCode::ModSwitchAdd);
+    static_cast<uint8_t>(OpCode::AdoptScale);
 
 const char *op_code_name(OpCode op);
 /// Operand count of an op (1 or 2).
 std::size_t op_code_arity(OpCode op);
+/// True for the ops that lower to one elementwise launch on the GPU
+/// backend (no NTT, no key switch) — the ops the compiler's fusion
+/// pre-lowering may place inside a pre-planned dyadic group.
+bool op_code_is_dyadic(OpCode op);
+
+/// Static shape report of a program (Program::stats()): what the
+/// interpreter will do without executing it.  Level figures count prime
+/// drops relative to the inputs, so no context is needed.
+struct ProgramStats {
+    std::size_t nodes = 0;
+    std::size_t constants = 0;
+    std::size_t outputs = 0;
+    std::size_t multiplies = 0;      ///< Multiply + Square
+    std::size_t plain_multiplies = 0;
+    std::size_t key_switches = 0;    ///< Relinearize + Rotate + Conjugate
+    std::size_t rescales = 0;
+    std::size_t mod_switches = 0;    ///< ModSwitch + adopt/add variants
+    /// Longest op chain from any input/constant to an output.
+    std::size_t depth = 0;
+    /// Maximum primes dropped along any input->output path — the level
+    /// budget the circuit consumes.
+    std::size_t levels_consumed = 0;
+    std::size_t fusion_groups = 0;
+    /// Top-level op dispatches the interpreter will make: one per node,
+    /// minus the launches pre-planned dyadic groups merge away.
+    std::size_t planned_launches = 0;
+};
 
 struct Program {
     struct Node {
@@ -61,10 +94,23 @@ struct Program {
         int32_t imm = 0; ///< rotation step (Rotate only)
     };
 
+    /// A contiguous node range [first, last) of mutually independent
+    /// dyadic ops the interpreter executes as one pre-planned
+    /// FusionBuilder group (one launch on a fusing GPU backend).
+    struct FusionGroup {
+        uint32_t first = 0;
+        uint32_t last = 0;
+    };
+
     uint32_t num_inputs = 0;
     std::vector<ckks::Plaintext> constants;
     std::vector<Node> nodes;
     std::vector<uint32_t> outputs;
+    /// Transient annotation written by the compiler's fusion
+    /// pre-lowering pass.  Not part of the wire format: save() skips it
+    /// and load() leaves it empty, so shipped programs are re-planned on
+    /// the receiving side.
+    std::vector<FusionGroup> fusion_groups;
 
     std::size_t value_count() const noexcept {
         return num_inputs + constants.size() + nodes.size();
@@ -75,10 +121,32 @@ struct Program {
 
     /// Structural validation: operand indices in range and already
     /// defined, cipher/plaintext kinds where each op expects them, at
-    /// least one output, every output a ciphertext value.  Throws
-    /// std::invalid_argument; wire loads run this before returning.
+    /// least one output, every output a *node* value.  An output naming
+    /// an input is rejected: the interpreter would echo the caller's own
+    /// handle back as if computed (and the server would serve a client's
+    /// input bytes as a result), so the case is defined out.  The same
+    /// node named twice in `outputs` is explicitly legal and returns the
+    /// shared handle twice — CSE can merge two structurally identical
+    /// output nodes into one.  Fusion-group annotations, when present,
+    /// must be sorted, disjoint, in range, and cover only dyadic ops.
+    /// Throws std::invalid_argument; wire loads run this before
+    /// returning.
     void validate() const;
+
+    /// Static shape report (node mix, depth, levels consumed, planned
+    /// launches) — see ProgramStats.
+    ProgramStats stats() const;
 };
+
+/// Structural equality: same inputs, constants (shape, scale and data),
+/// nodes and outputs.  Fusion-group annotations are ignored (they are
+/// derived, not semantic).
+bool structurally_equal(const Program &a, const Program &b);
+
+/// FNV-1a fingerprint over the same structure structurally_equal
+/// compares — a cheap cache precheck (collisions must still be confirmed
+/// with structurally_equal).
+uint64_t fingerprint(const Program &program);
 
 /// Incremental builder with index bookkeeping; `Value` is just a checked
 /// value index.
@@ -110,6 +178,9 @@ public:
     }
     Value mod_switch_add(Value a, Value c) {
         return node(OpCode::ModSwitchAdd, a, c);
+    }
+    Value adopt_scale(Value a, Value ref) {
+        return node(OpCode::AdoptScale, a, ref);
     }
     Value rotate(Value a, int step);
     Value conjugate(Value a) { return node(OpCode::Conjugate, a); }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "he/compiler.h"
+
 namespace xehe::he {
 
 namespace {
@@ -247,7 +249,29 @@ std::vector<Cipher> Session::run(const Program &program,
     ProgramKeys keys;
     keys.relin = &relin_;
     keys.galois = &galois_;
-    return run_program(program, *backend_, inputs, keys);
+    if (!options_.compile_programs) {
+        return run_program(program, *backend_, inputs, keys);
+    }
+
+    const uint64_t fp = fingerprint(program);
+    for (const auto &entry : compiled_cache_) {
+        if (entry.fingerprint == fp &&
+            structurally_equal(entry.source, program)) {
+            return run_program(*entry.compiled, *backend_, inputs, keys);
+        }
+    }
+    CompilerOptions copts;
+    copts.snap_tolerance = options_.snap_tolerance;
+    copts.input_scale = scale_;
+    ProgramCompiler compiler(backend_->context(), copts);
+    auto compiled =
+        std::make_shared<const Program>(compiler.compile(program).program);
+    constexpr std::size_t kCacheCap = 64;
+    if (compiled_cache_.size() >= kCacheCap) {
+        compiled_cache_.clear();
+    }
+    compiled_cache_.push_back({fp, program, compiled});
+    return run_program(*compiled, *backend_, inputs, keys);
 }
 
 }  // namespace xehe::he

@@ -47,6 +47,11 @@ struct SessionOptions {
     /// Seed for key generation and encryption randomness; two sessions
     /// with equal seeds (on any backends) encrypt identical ciphertexts.
     uint64_t seed = 0x5EA55107;
+    /// Run programs through he::ProgramCompiler before interpreting
+    /// (CSE/DCE, global rescale planning, fusion pre-lowering), with a
+    /// per-session cache of compiled programs.  Off = raw node-by-node
+    /// interpretation of the program exactly as written.
+    bool compile_programs = true;
 };
 
 class Session {
@@ -93,7 +98,11 @@ public:
     /// binary op would actually combine (exposed for tests).
     std::pair<Cipher, Cipher> aligned(const Cipher &a, const Cipher &b);
 
-    /// Interprets a Program over this session's backend and keys.
+    /// Interprets a Program over this session's backend and keys.  With
+    /// SessionOptions::compile_programs the program is optimized first
+    /// (cached per structural fingerprint, so repeated runs compile
+    /// once); inputs are assumed to sit at the session scale and the
+    /// context's max level, the planner's defaults.
     std::vector<Cipher> run(const Program &program,
                             std::span<const Cipher> inputs);
 
@@ -109,6 +118,15 @@ private:
 
     Backend *backend_;
     SessionOptions options_;
+    /// Compiled-program cache: fingerprint precheck, then structural
+    /// equality (fingerprints can collide; a wrong program must never
+    /// run).  Bounded: the cache clears when it outgrows its cap.
+    struct CompiledEntry {
+        uint64_t fingerprint;
+        Program source;
+        std::shared_ptr<const Program> compiled;
+    };
+    std::vector<CompiledEntry> compiled_cache_;
     double scale_ = 0.0;
     double waterline_ = 0.0;
     ckks::CkksEncoder encoder_;

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
+
+#include "he/compiler.h"
 
 namespace xehe::serve {
 
@@ -149,6 +152,42 @@ std::vector<Response> InferenceServer::run() {
     return responses;
 }
 
+std::shared_ptr<const he::Program> InferenceServer::compiled_program(
+    uint64_t session_id, std::span<const uint8_t> bytes,
+    std::size_t input_level) {
+    // Session id + assumed input level + the raw program bytes: equal keys
+    // mean byte-equal submissions compiled under identical assumptions, so
+    // a hit can never serve the wrong circuit.
+    std::string key;
+    key.reserve(2 * sizeof(uint64_t) + bytes.size());
+    const uint64_t level64 = input_level;
+    key.append(reinterpret_cast<const char *>(&session_id),
+               sizeof(session_id));
+    key.append(reinterpret_cast<const char *>(&level64), sizeof(level64));
+    key.append(reinterpret_cast<const char *>(bytes.data()), bytes.size());
+    if (auto it = program_cache_.find(key); it != program_cache_.end()) {
+        ++program_cache_hits_;
+        return it->second;
+    }
+
+    he::Program program = he::load_program(bytes, *host_);
+    util::require(program.outputs.size() == 1,
+                  "served programs must have exactly one output");
+    he::CompilerOptions copts;
+    copts.input_level = input_level;
+    copts.input_scale = kScale;  // the serving admission scale
+    he::ProgramCompiler compiler(*host_, copts);
+    auto compiled = std::make_shared<const he::Program>(
+        compiler.compile(program).program);
+
+    constexpr std::size_t kCacheCap = 256;
+    if (program_cache_.size() >= kCacheCap) {
+        program_cache_.clear();
+    }
+    program_cache_.emplace(std::move(key), compiled);
+    return compiled;
+}
+
 Response InferenceServer::execute(const Request &request,
                                   double dispatch_time) {
     Response resp;
@@ -165,14 +204,32 @@ Response InferenceServer::execute(const Request &request,
     resp.dispatch_ns = gpu.queue().clock_ns();
 
     try {
+        // Operand level: actual max-level encryptions when functional,
+        // the requested level for cost-only sweeps.
+        std::size_t input_level = host_->max_level();
+        if (request.cost_only && request.cost_only_level != 0) {
+            input_level = std::min<std::size_t>(request.cost_only_level,
+                                                host_->max_level());
+        }
+
         // An attached circuit is parsed (and validated) first: its input
-        // count is the request's arity.
-        he::Program client_program;
+        // count is the request's arity.  With compile_programs it goes
+        // through the ProgramCompiler on admission, cached per session so
+        // a re-submitted circuit pays the compile once.
+        std::shared_ptr<const he::Program> client_program;
         const bool is_program = request.op == Op::Program;
         if (is_program) {
-            client_program = he::load_program(request.program, *host_);
-            util::require(client_program.outputs.size() == 1,
-                          "served programs must have exactly one output");
+            if (config_.compile_programs) {
+                client_program = compiled_program(request.session_id,
+                                                  request.program,
+                                                  input_level);
+            } else {
+                auto raw = he::load_program(request.program, *host_);
+                util::require(raw.outputs.size() == 1,
+                              "served programs must have exactly one output");
+                client_program =
+                    std::make_shared<const he::Program>(std::move(raw));
+            }
         }
 
         const bool needs_relin = request.op != Op::Rotate &&
@@ -184,16 +241,12 @@ Response InferenceServer::execute(const Request &request,
 
         // Operands: deserialize + upload, or fabricate for cost-only.
         const std::size_t arity =
-            is_program ? client_program.num_inputs : op_arity(request.op);
+            is_program ? client_program->num_inputs : op_arity(request.op);
         std::vector<core::GpuCiphertext> inputs;
         inputs.reserve(arity);
         if (request.cost_only) {
-            std::size_t rns = request.cost_only_level == 0
-                                  ? host_->max_level()
-                                  : request.cost_only_level;
-            rns = std::min(rns, host_->max_level());
             for (std::size_t a = 0; a < arity; ++a) {
-                inputs.push_back(fabricate(gpu, 2, rns, kScale));
+                inputs.push_back(fabricate(gpu, 2, input_level, kScale));
             }
         } else {
             util::require(request.inputs.size() == arity,
@@ -223,13 +276,18 @@ Response InferenceServer::execute(const Request &request,
             he::Program stepped_rotate;
             const he::Program *program = nullptr;
             if (is_program) {
-                program = &client_program;
+                program = client_program.get();
             } else if (request.op == Op::Rotate && request.rotate_step != 1) {
                 stepped_rotate = he::rotate_program(request.rotate_step);
                 program = &stepped_rotate;
             } else {
-                program = &core::routine_program(
-                    static_cast<core::Routine>(request.op));
+                // Fixed-function requests run the same compiled form the
+                // routine harness does (identity for these programs —
+                // they are already minimal — but one code path).
+                const auto routine = static_cast<core::Routine>(request.op);
+                program = config_.compile_programs
+                              ? &core::routine_program_compiled(routine)
+                              : &core::routine_program(routine);
             }
             he::ProgramKeys keys;
             keys.relin = has_relin_ ? &relin_ : nullptr;

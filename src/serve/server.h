@@ -13,6 +13,11 @@
 // throughput, the serving metrics makespan-only reporting cannot express.
 #pragma once
 
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "he/program.h"
 #include "serve/protocol.h"
 #include "xehe/evaluator_pool.h"
 
@@ -31,6 +36,12 @@ struct ServerConfig {
     /// Execute kernels and return real results; false = cost-only (the
     /// N = 32K sweep operating point), responses carry no result bytes.
     bool functional = true;
+    /// Compile client circuits on admission (he::ProgramCompiler:
+    /// CSE/DCE, rescale planning, fusion pre-lowering) with a
+    /// per-session compiled-program cache, so a session re-submitting
+    /// the same circuit pays the compile once.  Off = interpret client
+    /// programs exactly as shipped.
+    bool compile_programs = true;
 };
 
 /// Latency/throughput aggregate over every request served so far.
@@ -73,8 +84,23 @@ public:
 
     LatencyStats stats() const;
 
+    /// Compiled-program cache occupancy and hit count (for tests and
+    /// capacity monitoring).
+    std::size_t program_cache_size() const noexcept {
+        return program_cache_.size();
+    }
+    std::size_t program_cache_hits() const noexcept {
+        return program_cache_hits_;
+    }
+
 private:
     Response execute(const Request &request, double dispatch_time);
+    /// The compiled form of a client program, from the per-session cache
+    /// when the same session already shipped these exact bytes (compiled
+    /// under the same assumed input level).
+    std::shared_ptr<const he::Program> compiled_program(
+        uint64_t session_id, std::span<const uint8_t> bytes,
+        std::size_t input_level);
 
     const ckks::CkksContext *host_;
     ServerConfig config_;
@@ -83,6 +109,14 @@ private:
     ckks::GaloisKeys galois_;
     bool has_relin_ = false;
     bool has_galois_ = false;
+
+    /// Compiled client circuits, keyed by the session id plus the raw
+    /// program bytes (collision-free: equal keys mean byte-equal
+    /// submissions from the same tenant).  Bounded with clear-on-overflow
+    /// so a tenant cycling circuits cannot grow the server unboundedly.
+    std::unordered_map<std::string,
+                       std::shared_ptr<const he::Program>> program_cache_;
+    std::size_t program_cache_hits_ = 0;
 
     std::vector<Request> pending_;
     std::vector<Response> parse_failures_;

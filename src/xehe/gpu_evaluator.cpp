@@ -15,6 +15,14 @@ void GpuEvaluator::submit_dyadic(const char *name, std::size_t elements,
                                  double ops_per_element, double streams,
                                  std::function<void(std::size_t)> body,
                                  bool is_ntt, double gmem_eff) const {
+    if (open_group_ && !is_ntt) {
+        // A pre-planned dyadic group is recording: stage the kernel (its
+        // own index domain — group members are mutually independent, so
+        // horizontal fusion is always legal) and submit at group end.
+        open_group_->stage(name, elements, ops_per_element, streams,
+                           std::move(body), gmem_eff);
+        return;
+    }
     xgpu::KernelStats stats;
     stats.name = name;
     stats.is_ntt = is_ntt;
@@ -561,6 +569,24 @@ GpuCiphertext GpuEvaluator::set_scale(const GpuCiphertext &a,
                   [=](std::size_t i) { dst[i] = src[i]; });
     gpu_->maybe_sync();
     return out;
+}
+
+void GpuEvaluator::begin_dyadic_group() const {
+    util::require(open_group_ == nullptr,
+                  "dyadic groups do not nest");
+    open_group_ = std::make_unique<xgpu::FusionBuilder>(
+        gpu_->queue(), gpu_->options().fuse_dyadic, gpu_->options().wg_size);
+}
+
+void GpuEvaluator::end_dyadic_group() const {
+    util::require(open_group_ != nullptr, "no open dyadic group");
+    // Take the builder off the evaluator first so the submission itself
+    // runs in normal (non-recording) mode.
+    const std::unique_ptr<xgpu::FusionBuilder> group = std::move(open_group_);
+    if (group->stage_count() > 0) {
+        group->submit();
+        gpu_->maybe_sync();
+    }
 }
 
 GpuCiphertext GpuEvaluator::apply_galois(const GpuCiphertext &a, uint64_t elt,

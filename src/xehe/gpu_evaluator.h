@@ -20,6 +20,8 @@
 // tests/test_gpu_evaluator.cpp).
 #pragma once
 
+#include <memory>
+
 #include "xehe/gpu_ciphertext.h"
 #include "xgpu/fusion.h"
 
@@ -76,6 +78,20 @@ public:
     /// kernel, no arithmetic) — the he:: frontend's explicit scale
     /// override on a shared handle.
     GpuCiphertext set_scale(const GpuCiphertext &a, double scale) const;
+
+    // --- pre-planned dyadic groups --------------------------------------
+    /// Opens a dyadic fusion group: until end_dyadic_group(), the
+    /// single-launch dyadic primitives (add/sub/negate/plain ops/square/
+    /// set_scale) record their kernels into one FusionBuilder instead of
+    /// submitting them, and the group submits as one launch (or one per
+    /// stage with fuse_dyadic off — bit-identical either way).  Only
+    /// legal for mutually independent ops: the compiler's fusion
+    /// pre-lowering guarantees no group member reads another's output.
+    /// Groups do not nest, and multi-launch primitives (multiply,
+    /// key switching, rescale) must not run inside one.
+    void begin_dyadic_group() const;
+    /// Submits and closes the open group.
+    void end_dyadic_group() const;
 
     // --- the five benchmarked routines (Section IV-C) -------------------
     GpuCiphertext mul_lin(const GpuCiphertext &a, const GpuCiphertext &b,
@@ -136,6 +152,10 @@ private:
     GpuContext *gpu_;
     const ckks::CkksContext *ctx_;
     ckks::GaloisTool galois_;
+    /// Open pre-planned dyadic group; submit_dyadic records into it
+    /// instead of submitting.  Mutable like the queue side effects of the
+    /// const primitives: recording state, not evaluator configuration.
+    mutable std::unique_ptr<xgpu::FusionBuilder> open_group_;
 };
 
 }  // namespace xehe::core

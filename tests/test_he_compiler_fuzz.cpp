@@ -1,0 +1,352 @@
+// he::ProgramCompiler randomized differential fuzz: a seeded,
+// feasibility-tracked random-DAG generator produces raw-executable
+// programs (operand sizes, levels and scales tracked symbolically so
+// every emitted op satisfies the backends' preconditions), and every
+// program is compiled and checked against its raw interpretation —
+// decode-equal always, bit-identical whenever the planner changed
+// nothing (PassReport::bit_exact()), GPU-vs-host agreement on a rotating
+// subset of seeds, and deterministic generation and compilation (same
+// seed, same bytes).  Runs under the ASan/UBSan CI matrix like the rest
+// of the suite.
+#include "test_common.h"
+
+#include "he/compiler.h"
+#include "xgpu/device.h"
+
+namespace xehe::test {
+namespace {
+
+void expect_bit_identical(const ckks::Ciphertext &x,
+                          const ckks::Ciphertext &y, const char *what) {
+    ASSERT_EQ(x.size, y.size) << what;
+    ASSERT_EQ(x.rns, y.rns) << what;
+    EXPECT_DOUBLE_EQ(x.scale, y.scale) << what;
+    EXPECT_EQ(x.data, y.data) << what;
+}
+
+/// Symbolic metadata the generator tracks per value so it only emits ops
+/// the raw interpreter will accept.  The scale arithmetic mirrors the
+/// backends' exactly (same double expressions), so the tracked scales
+/// are bitwise what the interpreter will see.
+struct VMeta {
+    uint32_t index = 0;  ///< program value index
+    std::size_t size = 2;
+    std::size_t level = 0;
+    double scale = 0.0;
+    bool is_node = false;  ///< eligible as a program output
+};
+
+class Generator {
+public:
+    Generator(const CkksBench &host, uint64_t seed)
+        : host_(&host), rng_(seed), num_inputs_(2 + rng_() % 3),
+          builder_(num_inputs_) {}
+
+    he::Program run() {
+        const ckks::CkksContext &ctx = host_->context;
+        base_ = static_cast<double>(
+            ctx.key_modulus()[ctx.max_level() - 1].value());
+        // Constants must all be declared before the first node, so the
+        // pool is fixed up front: per level, one addend encoded at the
+        // input scale and one scale-preserving multiplier at scale 1.
+        for (std::size_t level = 1; level <= ctx.max_level(); ++level) {
+            const double addend = static_cast<double>(rng_() % 7) * 0.125;
+            add_consts_.push_back(builder_.constant(
+                host_->encoder.encode(addend, base_, level)));
+            const double factor = 1.0 + static_cast<double>(rng_() % 3);
+            mul_consts_.push_back(builder_.constant(
+                host_->encoder.encode(factor, 1.0, level)));
+        }
+        for (std::size_t i = 0; i < num_inputs_; ++i) {
+            values_.push_back({static_cast<uint32_t>(i), 2, ctx.max_level(),
+                               base_, /*is_node=*/false});
+        }
+
+        const std::size_t target = 4 + rng_() % 13;  // up to 16 nodes
+        std::size_t emitted = 0;
+        std::size_t attempts = 0;
+        while (emitted < target && attempts < target * 20) {
+            ++attempts;
+            if (try_emit()) {
+                ++emitted;
+            }
+        }
+
+        // Outputs: one or two node values (occasionally the same one
+        // twice — duplicate outputs are defined behavior).
+        std::vector<uint32_t> nodes;
+        for (const auto &v : values_) {
+            if (v.is_node) {
+                nodes.push_back(v.index);
+            }
+        }
+        if (nodes.empty()) {
+            const VMeta a = values_[0];
+            push(builder_.negate({a.index}).index, a.size, a.level,
+                 a.scale);
+            nodes.push_back(values_.back().index);
+        }
+        const uint32_t out1 = nodes[rng_() % nodes.size()];
+        builder_.output({out1});
+        if (rng_() % 2 == 0) {
+            const uint32_t out2 =
+                rng_() % 8 == 0 ? out1 : nodes[rng_() % nodes.size()];
+            builder_.output({out2});
+        }
+        return builder_.build();
+    }
+
+private:
+    bool scales_close(double a, double b, double tol) const {
+        return std::abs(a / b - 1.0) < tol;
+    }
+
+    VMeta pick() { return values_[rng_() % values_.size()]; }
+
+    /// Coefficient headroom: scaled values must stay well inside the
+    /// level's modulus product, and above encoding granularity.
+    bool scale_fits(double scale, std::size_t level) const {
+        double budget = 0.0;
+        for (std::size_t i = 0; i < level; ++i) {
+            budget += std::log2(static_cast<double>(
+                host_->context.key_modulus()[i].value()));
+        }
+        return std::log2(scale) + 8.0 < budget - 4.0 && scale >= 1024.0;
+    }
+
+    void push(uint32_t index, std::size_t size, std::size_t level,
+              double scale) {
+        values_.push_back({index, size, level, scale, /*is_node=*/true});
+    }
+
+    bool try_emit() {
+        const ckks::CkksContext &ctx = host_->context;
+        switch (rng_() % 12) {
+            case 0: {  // Add / Sub
+                const VMeta a = pick();
+                const VMeta b = pick();
+                if (a.size != b.size || a.level != b.level ||
+                    !scales_close(a.scale, b.scale, 1e-7)) {
+                    return false;
+                }
+                const auto v = rng_() % 2 == 0
+                                   ? builder_.sub({a.index}, {b.index})
+                                   : builder_.add({a.index}, {b.index});
+                push(v.index, a.size, a.level, a.scale);
+                return true;
+            }
+            case 1: {  // Negate
+                const VMeta a = pick();
+                push(builder_.negate({a.index}).index, a.size, a.level,
+                     a.scale);
+                return true;
+            }
+            case 2: {  // AddPlain (pool constant at the input scale)
+                const VMeta a = pick();
+                if (a.scale != base_) {  // must match bitwise
+                    return false;
+                }
+                push(builder_.add_plain({a.index},
+                                        add_consts_[a.level - 1]).index,
+                     a.size, a.level, a.scale);
+                return true;
+            }
+            case 3: {  // MultiplyPlain (scale-preserving: plain scale 1)
+                const VMeta a = pick();
+                if (!scale_fits(a.scale * 2.0, a.level)) {
+                    return false;
+                }
+                push(builder_.multiply_plain(
+                         {a.index}, mul_consts_[a.level - 1]).index,
+                     a.size, a.level, a.scale * 1.0);
+                return true;
+            }
+            case 4: {  // Multiply
+                const VMeta a = pick();
+                const VMeta b = pick();
+                if (a.size != 2 || b.size != 2 || a.level != b.level ||
+                    !scale_fits(a.scale * b.scale, a.level)) {
+                    return false;
+                }
+                push(builder_.multiply({a.index}, {b.index}).index, 3,
+                     a.level, a.scale * b.scale);
+                return true;
+            }
+            case 5: {  // Square
+                const VMeta a = pick();
+                if (a.size != 2 ||
+                    !scale_fits(a.scale * a.scale, a.level)) {
+                    return false;
+                }
+                push(builder_.square({a.index}).index, 3, a.level,
+                     a.scale * a.scale);
+                return true;
+            }
+            case 6: {  // Relinearize
+                const VMeta a = pick();
+                if (a.size != 3) {
+                    return false;
+                }
+                push(builder_.relinearize({a.index}).index, 2, a.level,
+                     a.scale);
+                return true;
+            }
+            case 7: {  // Rescale (only when the result keeps headroom)
+                const VMeta a = pick();
+                if (a.level < 2) {
+                    return false;
+                }
+                const double q = static_cast<double>(
+                    ctx.key_modulus()[a.level - 1].value());
+                const double scale = a.scale / q;
+                if (scale < 1024.0) {
+                    return false;
+                }
+                push(builder_.rescale({a.index}).index, a.size,
+                     a.level - 1, scale);
+                return true;
+            }
+            case 8: {  // ModSwitch
+                const VMeta a = pick();
+                if (a.level < 2) {
+                    return false;
+                }
+                push(builder_.mod_switch({a.index}).index, a.size,
+                     a.level - 1, a.scale);
+                return true;
+            }
+            case 9: {  // ModSwitchAdopt (tiny fudge: ref within 1e-3)
+                const VMeta a = pick();
+                const VMeta ref = pick();
+                if (a.level < 2 ||
+                    !scales_close(a.scale, ref.scale, 1e-3)) {
+                    return false;
+                }
+                push(builder_.mod_switch_adopt({a.index},
+                                               {ref.index}).index,
+                     a.size, a.level - 1, ref.scale);
+                return true;
+            }
+            case 10: {  // Rotate by 1
+                const VMeta a = pick();
+                if (a.size != 2) {
+                    return false;
+                }
+                push(builder_.rotate({a.index}, 1).index, 2, a.level,
+                     a.scale);
+                return true;
+            }
+            case 11: {  // structural duplicate, for CSE to find
+                const VMeta a = pick();
+                push(builder_.negate({a.index}).index, a.size, a.level,
+                     a.scale);
+                push(builder_.negate({a.index}).index, a.size, a.level,
+                     a.scale);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    const CkksBench *host_;
+    std::mt19937_64 rng_;
+    std::size_t num_inputs_;
+    he::ProgramBuilder builder_;
+    double base_ = 0.0;
+    std::vector<he::ProgramBuilder::Value> add_consts_;  ///< [level-1]
+    std::vector<he::ProgramBuilder::Value> mul_consts_;  ///< [level-1]
+    std::vector<VMeta> values_;
+};
+
+TEST(HeCompilerFuzz, RandomDagsCompileAndAgreeWithRawInterpretation) {
+    CkksBench host(1024, 4);
+    ckks::RelinKeys relin = host.keygen.create_relin_keys();
+    const int steps[] = {1};
+    ckks::GaloisKeys galois = host.keygen.create_galois_keys(steps);
+    he::ProgramKeys keys;
+    keys.relin = &relin;
+    keys.galois = &galois;
+    const double input_scale = static_cast<double>(
+        host.context.key_modulus()[host.context.max_level() - 1].value());
+
+    he::HostBackend host_backend(host.context);
+    core::GpuContext gpu(host.context, xgpu::device1(), core::GpuOptions{});
+    core::GpuEvaluator evaluator(gpu);
+    he::GpuBackend gpu_backend(gpu, evaluator);
+
+    const he::ProgramCompiler compiler(host.context);
+
+    std::size_t bit_exact_outputs = 0;
+    std::size_t planned_outputs = 0;
+    for (uint64_t seed = 1; seed <= 220; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const he::Program raw = Generator(host, seed).run();
+
+        // Deterministic generation: the same seed rebuilds the same
+        // program, byte for byte.
+        const he::Program again = Generator(host, seed).run();
+        ASSERT_TRUE(he::structurally_equal(raw, again));
+        ASSERT_EQ(wire::serialize(raw), wire::serialize(again));
+
+        // Deterministic compilation: compile twice, identical results.
+        const auto compiled = compiler.compile(raw);
+        const auto recompiled = compiler.compile(raw);
+        ASSERT_TRUE(he::structurally_equal(compiled.program,
+                                           recompiled.program));
+        ASSERT_EQ(wire::serialize(compiled.program),
+                  wire::serialize(recompiled.program));
+
+        // Raw-valid by construction; the compiled form must run too.
+        std::vector<he::Cipher> inputs;
+        for (uint32_t i = 0; i < raw.num_inputs; ++i) {
+            inputs.push_back(host_backend.upload(
+                host.enc(host.values(seed * 16 + i, 0.5), input_scale)));
+        }
+        const auto raw_out =
+            he::run_program(raw, host_backend, inputs, keys);
+        const auto opt_out =
+            he::run_program(compiled.program, host_backend, inputs, keys);
+        ASSERT_EQ(raw_out.size(), opt_out.size());
+
+        for (std::size_t o = 0; o < raw_out.size(); ++o) {
+            const auto raw_ct = host_backend.download(raw_out[o]);
+            const auto opt_ct = host_backend.download(opt_out[o]);
+            if (compiled.report.bit_exact()) {
+                ++bit_exact_outputs;
+                expect_bit_identical(raw_ct, opt_ct, "bit-exact pipeline");
+            } else {
+                ++planned_outputs;
+            }
+            // Decode equality always: the planner preserves decoded
+            // results even when it restructures alignment.
+            EXPECT_LT(max_abs_diff(host.dec(raw_ct), host.dec(opt_ct)),
+                      5e-2)
+                << "output " << o;
+        }
+
+        // Cross-backend agreement on the compiled program, every 4th
+        // seed (the GPU run costs more).
+        if (seed % 4 == 0) {
+            std::vector<he::Cipher> gpu_inputs;
+            for (const auto &in : inputs) {
+                gpu_inputs.push_back(
+                    gpu_backend.upload(host_backend.download(in)));
+            }
+            const auto gpu_out = he::run_program(
+                compiled.program, gpu_backend, gpu_inputs, keys);
+            ASSERT_EQ(gpu_out.size(), opt_out.size());
+            for (std::size_t o = 0; o < gpu_out.size(); ++o) {
+                expect_bit_identical(host_backend.download(opt_out[o]),
+                                     gpu_backend.download(gpu_out[o]),
+                                     "gpu vs host compiled");
+            }
+        }
+    }
+    // The generator must exercise both regimes: programs the planner
+    // leaves untouched and programs it restructures.
+    EXPECT_GT(bit_exact_outputs, 0u);
+    EXPECT_GT(planned_outputs, 0u);
+}
+
+}  // namespace
+}  // namespace xehe::test
