@@ -60,7 +60,9 @@ public:
         return {tables_.data(), count};
     }
 
-    /// RNS base of the first `level` data primes (cached), used by decode.
+    /// RNS base of the first `level` data primes (precomputed at
+    /// construction; the context is immutable and thread-safe to share
+    /// after that), used by decode.
     const RnsBase &data_base(std::size_t level) const;
 
     /// (q_j)^{-1} mod q_i, for dropping modulus j onto component i < j —
@@ -82,7 +84,7 @@ private:
     std::vector<std::vector<MultiplyModOperand>> inv_last_;
     std::vector<uint64_t> half_;
     std::vector<std::vector<uint64_t>> half_mod_;
-    mutable std::vector<std::unique_ptr<RnsBase>> data_bases_;
+    std::vector<std::unique_ptr<RnsBase>> data_bases_;
 };
 
 }  // namespace xehe::ckks

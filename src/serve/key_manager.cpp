@@ -1,0 +1,159 @@
+#include "serve/key_manager.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+
+namespace xehe::serve {
+
+namespace {
+
+std::size_t kswitch_bytes(const ckks::KSwitchKey &key) {
+    std::size_t words = 0;
+    for (const auto &ct : key.keys) {
+        words += ct.data.size();
+    }
+    return words * sizeof(uint64_t);
+}
+
+}  // namespace
+
+std::size_t expanded_key_bytes(const ckks::RelinKeys &relin,
+                               const ckks::GaloisKeys &galois) {
+    std::size_t bytes = kswitch_bytes(relin.key);
+    for (const auto &[elt, key] : galois.keys) {
+        (void)elt;
+        bytes += kswitch_bytes(key);
+    }
+    return bytes;
+}
+
+KeyManager::KeyManager(const ckks::CkksContext &context,
+                       std::size_t budget_bytes)
+    : context_(&context), budget_bytes_(budget_bytes) {
+    util::require(budget_bytes_ > 0, "key budget must be positive");
+    stats_.budget_bytes = budget_bytes_;
+}
+
+void KeyManager::register_session(uint64_t session_id,
+                                  const ckks::RelinKeys &relin,
+                                  const ckks::GaloisKeys &galois) {
+    // Serialize outside the lock: wire encoding is the expensive part.
+    Entry entry;
+    entry.relin_wire = wire::serialize(relin);
+    entry.galois_wire = wire::serialize(galois);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.insert_or_assign(session_id, std::move(entry));
+    // Re-registration replaces (and un-caches) any previous keys, so the
+    // aggregate byte counters are rebuilt from scratch — cheap, the entry
+    // count is the session count.
+    stats_.cold_bytes = 0;
+    resident_bytes_ = 0;
+    for (const auto &[id, e] : entries_) {
+        (void)id;
+        stats_.cold_bytes += e.relin_wire.size() + e.galois_wire.size();
+        if (e.expanded) {
+            resident_bytes_ += e.expanded_bytes;
+        }
+    }
+    stats_.sessions = entries_.size();
+}
+
+void KeyManager::make_room(std::size_t needed, uint64_t keep) {
+    while (budget_bytes_ - resident_bytes_ < needed) {
+        uint64_t victim = 0;
+        uint64_t oldest = std::numeric_limits<uint64_t>::max();
+        bool found = false;
+        for (const auto &[id, e] : entries_) {
+            if (e.expanded && id != keep && e.last_use < oldest) {
+                oldest = e.last_use;
+                victim = id;
+                found = true;
+            }
+        }
+        if (!found) {
+            break;  // nothing evictable; caller handles the oversize case
+        }
+        Entry &e = entries_.at(victim);
+        resident_bytes_ -= e.expanded_bytes;
+        e.expanded.reset();  // cold store (wire bytes) stays
+        ++stats_.evictions;
+    }
+}
+
+KeyManager::Acquired KeyManager::acquire(uint64_t session_id) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    auto it = entries_.find(session_id);
+    util::require(it != entries_.end(), "session keys not registered");
+    Entry &entry = it->second;
+    entry.last_use = ++use_clock_;
+
+    Acquired out;
+    if (entry.expanded) {
+        ++stats_.hits;
+        out.keys = entry.expanded;
+        out.expanded_bytes = entry.expanded_bytes;
+        return out;
+    }
+
+    // Miss: re-expand from the seed-compressed cold store.  The load
+    // re-runs the seeded uniform expansion, so the result is bit-exact
+    // against the originally registered keys.  Kept under the lock for
+    // deterministic LRU accounting; re-expansion time is measured and
+    // surfaced so the cost is visible, not hidden.
+    const auto t0 = std::chrono::steady_clock::now();
+    auto keys = std::make_shared<SessionKeys>();
+    keys->relin = wire::load_relin_keys(entry.relin_wire, *context_);
+    keys->galois = wire::load_galois_keys(entry.galois_wire, *context_);
+    const auto t1 = std::chrono::steady_clock::now();
+    stats_.reexpand_ms +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    ++stats_.misses;
+
+    entry.expanded_bytes = expanded_key_bytes(keys->relin, keys->galois);
+    out.miss = true;
+    out.expanded_bytes = entry.expanded_bytes;
+    out.keys = keys;
+
+    if (entry.expanded_bytes <= budget_bytes_) {
+        make_room(entry.expanded_bytes, session_id);
+        if (budget_bytes_ - resident_bytes_ >= entry.expanded_bytes) {
+            entry.expanded = std::move(keys);
+            resident_bytes_ += entry.expanded_bytes;
+            stats_.peak_resident_bytes =
+                std::max(stats_.peak_resident_bytes, resident_bytes_);
+        }
+    }
+    // An oversize keyset (> whole budget) is served transiently and never
+    // cached, so resident_bytes_ <= budget_bytes_ holds at every instant.
+    return out;
+}
+
+bool KeyManager::has(uint64_t session_id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.count(session_id) != 0;
+}
+
+bool KeyManager::resident(uint64_t session_id) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = entries_.find(session_id);
+    return it != entries_.end() && it->second.expanded != nullptr;
+}
+
+KeyStats KeyManager::stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    KeyStats out = stats_;
+    out.sessions = entries_.size();
+    out.resident_bytes = resident_bytes_;
+    out.resident = 0;
+    for (const auto &[id, e] : entries_) {
+        (void)id;
+        if (e.expanded) {
+            ++out.resident;
+        }
+    }
+    return out;
+}
+
+}  // namespace xehe::serve

@@ -1,0 +1,104 @@
+// Multi-tenant evaluation-key management: every session registers its own
+// relinearization/Galois keys, but only a bounded number stay resident in
+// expanded form.  Cold keys are held as seed-compressed wire bytes (the
+// PR 4 seed compression makes them ~2x cheaper to hold) and re-expanded on
+// demand; an LRU policy under a byte budget decides which expanded keysets
+// survive.  This is what lets sessions >> resident-key memory share one
+// server without unbounded growth.
+//
+// Thread safety: every public member is safe to call concurrently (one
+// internal mutex).  acquire() returns shared ownership, so an in-flight
+// request keeps its keyset alive even if the cache evicts it mid-request.
+#pragma once
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "wire/wire.h"
+
+namespace xehe::serve {
+
+/// One session's evaluation keys in expanded (usable) form.
+struct SessionKeys {
+    ckks::RelinKeys relin;
+    ckks::GaloisKeys galois;
+};
+
+/// Counters surfaced through serve::LatencyStats and the multitenant
+/// bench gates.  Byte figures count expanded key material (the resident
+/// cost); cold_bytes counts the seed-compressed wire store.
+struct KeyStats {
+    std::size_t sessions = 0;        ///< registered sessions
+    std::size_t resident = 0;        ///< keysets currently expanded
+    std::size_t hits = 0;
+    std::size_t misses = 0;          ///< acquisitions that re-expanded
+    std::size_t evictions = 0;
+    double reexpand_ms = 0.0;        ///< wall-clock spent re-expanding
+    std::size_t resident_bytes = 0;
+    std::size_t peak_resident_bytes = 0;  ///< never exceeds budget_bytes
+    std::size_t budget_bytes = 0;
+    std::size_t cold_bytes = 0;
+};
+
+/// Expanded in-memory footprint of a keyset: the key ciphertexts' residue
+/// words (the dominant term; metadata is noise next to it).
+std::size_t expanded_key_bytes(const ckks::RelinKeys &relin,
+                               const ckks::GaloisKeys &galois);
+
+class KeyManager {
+public:
+    /// `budget_bytes` bounds the total expanded (resident) key bytes; it
+    /// must be positive.  A keyset larger than the whole budget is served
+    /// but never cached, so the budget is a true invariant.
+    KeyManager(const ckks::CkksContext &context, std::size_t budget_bytes);
+
+    /// Registers (or replaces) a session's keys.  The keys are serialized
+    /// to the seed-compressed cold store immediately; they do not count
+    /// against the resident budget until first acquired.
+    void register_session(uint64_t session_id, const ckks::RelinKeys &relin,
+                          const ckks::GaloisKeys &galois);
+
+    struct Acquired {
+        std::shared_ptr<const SessionKeys> keys;
+        bool miss = false;               ///< re-expanded from the cold store
+        std::size_t expanded_bytes = 0;  ///< for the simulated upload charge
+    };
+
+    /// Expanded keys for `session_id`, re-expanding from wire bytes on a
+    /// miss (LRU-evicting under the budget first).  Throws
+    /// std::invalid_argument for an unregistered session.
+    Acquired acquire(uint64_t session_id);
+
+    bool has(uint64_t session_id) const;
+    /// True when the session's keys are currently expanded (test hook for
+    /// eviction-order assertions).
+    bool resident(uint64_t session_id) const;
+
+    KeyStats stats() const;
+
+private:
+    struct Entry {
+        std::vector<uint8_t> relin_wire;
+        std::vector<uint8_t> galois_wire;
+        std::shared_ptr<const SessionKeys> expanded;  ///< null when cold
+        std::size_t expanded_bytes = 0;  ///< known after first expansion
+        uint64_t last_use = 0;
+    };
+
+    /// Evicts least-recently-used resident entries (never `keep`) until
+    /// `needed` more bytes fit under the budget.  Caller holds the mutex.
+    void make_room(std::size_t needed, uint64_t keep);
+
+    const ckks::CkksContext *context_;
+    std::size_t budget_bytes_;
+
+    mutable std::mutex mutex_;
+    std::unordered_map<uint64_t, Entry> entries_;
+    uint64_t use_clock_ = 0;
+    std::size_t resident_bytes_ = 0;
+    KeyStats stats_;
+};
+
+}  // namespace xehe::serve

@@ -14,6 +14,16 @@ void check(bool condition, const char *what) {
 
 }  // namespace
 
+const char *status_name(Status s) {
+    switch (s) {
+        case Status::Ok: return "Ok";
+        case Status::ParseError: return "ParseError";
+        case Status::ExecError: return "ExecError";
+        case Status::Overloaded: return "Overloaded";
+    }
+    return "unknown";
+}
+
 const char *op_name(Op op) {
     switch (op) {
         case Op::MulLin: return "MulLin";
@@ -109,6 +119,7 @@ void save(wire::Writer &w, const Response &resp) {
     w.u8(static_cast<uint8_t>(wire::Tag::Response));
     w.u64(resp.session_id);
     w.u8(resp.ok ? 1 : 0);
+    w.u8(static_cast<uint8_t>(resp.code));
     w.u64(resp.error.size());
     w.bytes(std::span<const uint8_t>(
         reinterpret_cast<const uint8_t *>(resp.error.data()),
@@ -127,6 +138,12 @@ void load(wire::Reader &r, Response &resp) {
     const uint8_t ok = r.u8();
     check(ok <= 1, "wire: bad flag byte");
     resp.ok = ok != 0;
+    const uint8_t code = r.u8();
+    check(code <= static_cast<uint8_t>(Status::Overloaded),
+          "wire: bad status code");
+    resp.code = static_cast<Status>(code);
+    check(resp.ok == (resp.code == Status::Ok),
+          "wire: status code inconsistent with ok flag");
     const uint64_t error_len = r.u64();
     check(error_len <= (1u << 16), "wire: oversized error string");
     const auto error = r.bytes(error_len);
@@ -145,6 +162,155 @@ void load(wire::Reader &r, Response &resp) {
 
 Request load_request(std::span<const uint8_t> buffer) {
     return wire::load_enveloped<Request>(buffer);
+}
+
+// ---------------------------------------------------------------------------
+// Streaming chunked request path
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<uint8_t>> chunk_request(const Request &req,
+                                                uint64_t stream_id,
+                                                std::size_t max_payload) {
+    wire::Writer w;
+    save(w, req);
+    const std::vector<uint8_t> body = w.take();
+    return wire::chunk_message(stream_id, body, max_payload);
+}
+
+namespace {
+
+/// Fixed Request-body prefix: tag(1) session(8) op(1) rotate(8) matmul(8)
+/// arrival(8) cost_only(1) cost_level(8) input_count(1).
+constexpr std::size_t kFixedPrefixBytes = 44;
+/// Per-operand bound for the streaming path (the monolithic path is
+/// implicitly bounded by its envelope length).
+constexpr std::size_t kMaxInputBytes = std::size_t{1} << 26;
+
+}  // namespace
+
+void StreamingRequestParser::finish_fixed() {
+    check(pending_.size() == kFixedPrefixBytes, "wire: bad parser state");
+    wire::Reader r(pending_);
+    check(r.u8() == static_cast<uint8_t>(wire::Tag::Request),
+          "wire: expected Request");
+    request_.session_id = r.u64();
+    const uint8_t op = r.u8();
+    check(op <= static_cast<uint8_t>(Op::Program), "wire: bad op");
+    request_.op = static_cast<Op>(op);
+    request_.rotate_step = static_cast<int>(static_cast<int64_t>(r.u64()));
+    request_.matmul_tiles = r.u64();
+    check(request_.matmul_tiles >= 1 && request_.matmul_tiles <= (1u << 20),
+          "wire: bad matmul tile count");
+    request_.arrival_ns = r.f64();
+    check(std::isfinite(request_.arrival_ns) && request_.arrival_ns >= 0.0,
+          "wire: bad arrival time");
+    const uint8_t cost_only = r.u8();
+    check(cost_only <= 1, "wire: bad flag byte");
+    request_.cost_only = cost_only != 0;
+    request_.cost_only_level = r.u64();
+    check(request_.cost_only_level <= 64, "wire: bad cost-only level");
+    const uint8_t count = r.u8();
+    if (request_.op == Op::Program) {
+        check(count <= 64, "wire: bad input count");
+        check(!request_.cost_only || count == 0,
+              "wire: cost-only request with inputs");
+    } else {
+        check(count <= 3, "wire: bad input count");
+        check(request_.cost_only ? count == 0
+                                 : count == op_arity(request_.op),
+              "wire: input count does not match op");
+    }
+    input_count_ = count;
+    request_.inputs.reserve(input_count_);
+    start_next_input();
+}
+
+void StreamingRequestParser::start_next_input() {
+    if (inputs_parsed_ < input_count_) {
+        state_ = State::InputLen;
+    } else {
+        state_ = State::ProgramLen;
+    }
+    need_ = 8;
+}
+
+bool StreamingRequestParser::feed(std::span<const uint8_t> bytes) {
+    while (!bytes.empty()) {
+        check(state_ != State::Done,
+              "wire: trailing bytes after complete request");
+        switch (state_) {
+            case State::Fixed:
+            case State::InputLen:
+            case State::ProgramLen: {
+                const std::size_t take =
+                    std::min(need_ - pending_.size(), bytes.size());
+                pending_.insert(pending_.end(), bytes.begin(),
+                                bytes.begin() + take);
+                bytes = bytes.subspan(take);
+                consumed_ += take;
+                if (pending_.size() < need_) {
+                    break;
+                }
+                if (state_ == State::Fixed) {
+                    finish_fixed();
+                } else if (state_ == State::InputLen) {
+                    wire::Reader r(pending_);
+                    const uint64_t len = r.u64();
+                    check(len <= kMaxInputBytes,
+                          "wire: oversized operand buffer");
+                    request_.inputs.emplace_back();
+                    request_.inputs.back().reserve(len);
+                    body_remaining_ = len;
+                    ++inputs_parsed_;
+                    state_ = State::InputBody;
+                    if (body_remaining_ == 0) {
+                        start_next_input();
+                    }
+                } else {
+                    wire::Reader r(pending_);
+                    const uint64_t len = r.u64();
+                    check(len <= (1u << 24), "wire: oversized program");
+                    check(request_.op == Op::Program ? len > 0 : len == 0,
+                          "wire: program bytes do not match op");
+                    request_.program.reserve(len);
+                    body_remaining_ = len;
+                    state_ = body_remaining_ == 0 ? State::Done
+                                                  : State::ProgramBody;
+                }
+                pending_.clear();
+                break;
+            }
+            case State::InputBody:
+            case State::ProgramBody: {
+                const std::size_t take =
+                    std::min(body_remaining_, bytes.size());
+                auto &target = state_ == State::InputBody
+                                   ? request_.inputs.back()
+                                   : request_.program;
+                target.insert(target.end(), bytes.begin(),
+                              bytes.begin() + take);
+                bytes = bytes.subspan(take);
+                consumed_ += take;
+                body_remaining_ -= take;
+                if (body_remaining_ == 0) {
+                    if (state_ == State::InputBody) {
+                        start_next_input();
+                    } else {
+                        state_ = State::Done;
+                    }
+                }
+                break;
+            }
+            case State::Done:
+                break;  // unreachable: checked at loop entry
+        }
+    }
+    return state_ == State::Done;
+}
+
+Request StreamingRequestParser::take() {
+    check(state_ == State::Done, "wire: request incomplete");
+    return std::move(request_);
 }
 
 Response load_response(std::span<const uint8_t> buffer) {

@@ -53,9 +53,22 @@ struct Request {
     std::vector<uint8_t> program;
 };
 
+/// Typed failure classes, so clients can react to overload (retry with
+/// backoff elsewhere) differently from corruption (drop) or execution
+/// faults (report) without parsing error strings.
+enum class Status : uint8_t {
+    Ok = 0,
+    ParseError = 1,  ///< request/chunk bytes failed wire validation
+    ExecError = 2,   ///< request was valid but evaluation failed
+    Overloaded = 3,  ///< shard credit window exhausted; never enqueued
+};
+
+const char *status_name(Status s);
+
 struct Response {
     uint64_t session_id = 0;
     bool ok = false;
+    Status code = Status::ExecError;  ///< Status::Ok iff ok
     std::string error;            ///< set when !ok
     /// Serialized result ciphertext (functional servers only).
     std::vector<uint8_t> result;
@@ -76,5 +89,62 @@ void load(wire::Reader &r, Response &resp);
 
 Request load_request(std::span<const uint8_t> buffer);
 Response load_response(std::span<const uint8_t> buffer);
+
+// ---------------------------------------------------------------------------
+// Streaming chunked request path: a large request (many or big operand
+// ciphertexts) travels as bounded wire chunk frames instead of one
+// monolithic envelope.  The parser consumes the request *body* bytes
+// incrementally — header fields first, then each operand buffer straight
+// into its own per-input vector — so the receiver never materializes the
+// whole request as a single contiguous buffer; integrity comes from the
+// per-chunk checksums instead of the envelope checksum.
+// ---------------------------------------------------------------------------
+
+/// Serializes `req`'s body and slices it into checksummed chunk frames
+/// for `stream_id` (client-side helper; the client may hold the whole
+/// request anyway).
+std::vector<std::vector<uint8_t>> chunk_request(
+    const Request &req, uint64_t stream_id,
+    std::size_t max_payload = wire::kMaxChunkPayload);
+
+/// Incremental parser over Request body bytes.  feed() accepts arbitrary
+/// spans; buffered state is bounded by the fixed header plus the operand
+/// currently being filled (which the final Request owns anyway).  Throws
+/// wire::WireError on any field that monolithic load() would reject.
+class StreamingRequestParser {
+public:
+    /// Consumes `bytes`; returns true once the request is complete.
+    /// Trailing bytes beyond a complete request throw.
+    bool feed(std::span<const uint8_t> bytes);
+
+    bool done() const noexcept { return state_ == State::Done; }
+    /// Total body bytes consumed so far.
+    std::size_t consumed() const noexcept { return consumed_; }
+
+    /// Moves the parsed request out.  Only valid once done().
+    Request take();
+
+private:
+    enum class State : uint8_t {
+        Fixed,        ///< tag .. input count (fixed 44-byte prefix)
+        InputLen,     ///< u64 length of the next operand
+        InputBody,    ///< operand bytes -> request_.inputs.back()
+        ProgramLen,   ///< u64 program length
+        ProgramBody,  ///< program bytes -> request_.program
+        Done,
+    };
+
+    void finish_fixed();
+    void start_next_input();
+
+    State state_ = State::Fixed;
+    std::vector<uint8_t> pending_;   ///< partial fixed header / length field
+    std::size_t need_ = 44;          ///< bytes wanted in the current state
+    std::size_t input_count_ = 0;
+    std::size_t inputs_parsed_ = 0;
+    std::size_t body_remaining_ = 0;  ///< of the operand/program being read
+    std::size_t consumed_ = 0;
+    Request request_;
+};
 
 }  // namespace xehe::serve

@@ -49,14 +49,34 @@ double percentile(const std::vector<double> &sorted_ns, double q) {
 
 }  // namespace
 
+void ServerConfig::validate() const {
+    if (max_batch == 0) {
+        throw ConfigError("serve: max_batch must be >= 1");
+    }
+    if (!std::isfinite(batch_window_ns) || batch_window_ns <= 0.0) {
+        throw ConfigError(
+            "serve: batch_window_ns must be positive and finite");
+    }
+    if (queue_count < 0) {
+        throw ConfigError("serve: queue_count must be >= 0 (0 = per tile)");
+    }
+    if (key_budget_bytes == 0) {
+        throw ConfigError("serve: key_budget_bytes must be positive");
+    }
+}
+
 InferenceServer::InferenceServer(const ckks::CkksContext &host,
                                  xgpu::DeviceSpec spec,
                                  core::GpuOptions options,
-                                 ServerConfig config)
-    : host_(&host), config_(config),
-      pool_(host, std::move(spec), options, config.queue_count) {
-    // max_batch = 0 would make the batching loop admit nothing and spin.
-    config_.max_batch = std::max<std::size_t>(1, config_.max_batch);
+                                 ServerConfig config,
+                                 std::shared_ptr<KeyManager> key_manager,
+                                 xgpu::ThreadPool *pool)
+    : host_(&host), config_((config.validate(), config)),
+      pool_(host, std::move(spec), options, config.queue_count, pool),
+      key_manager_(key_manager
+                       ? std::move(key_manager)
+                       : std::make_shared<KeyManager>(
+                             host, config.key_budget_bytes)) {
     pool_.set_functional(config_.functional);
     // Lane construction uploads NTT tables; serving time starts at zero.
     pool_.scheduler().reset_clocks();
@@ -69,20 +89,87 @@ void InferenceServer::set_keys(ckks::RelinKeys relin, ckks::GaloisKeys galois) {
     has_galois_ = !galois_.keys.empty();
 }
 
+void InferenceServer::register_session_keys(uint64_t session_id,
+                                            const ckks::RelinKeys &relin,
+                                            const ckks::GaloisKeys &galois) {
+    key_manager_->register_session(session_id, relin, galois);
+}
+
+void InferenceServer::record_failure(uint64_t session_id, Status code,
+                                     std::string error) {
+    Response resp;
+    resp.session_id = session_id;
+    resp.ok = false;
+    resp.code = code;
+    resp.error = std::move(error);
+    parse_failures_.push_back(std::move(resp));
+    ++failed_;
+    if (code == Status::Overloaded) {
+        ++overloaded_;
+    }
+}
+
 void InferenceServer::submit(std::span<const uint8_t> request_bytes) {
     try {
         submit(load_request(request_bytes));
     } catch (const wire::WireError &e) {
-        Response resp;
-        resp.ok = false;
-        resp.error = e.what();
-        parse_failures_.push_back(std::move(resp));
-        ++failed_;
+        record_failure(0, Status::ParseError, e.what());
     }
 }
 
 void InferenceServer::submit(Request request) {
     pending_.push_back(std::move(request));
+}
+
+void InferenceServer::submit_chunk(std::span<const uint8_t> frame) {
+    wire::ChunkView chunk;
+    try {
+        chunk = wire::open_chunk(frame);
+    } catch (const wire::WireError &e) {
+        // The frame's header cannot be trusted, so no stream state can be
+        // charged for it; reject the frame alone.
+        record_failure(0, Status::ParseError, e.what());
+        return;
+    }
+
+    auto it = streams_.find(chunk.stream_id);
+    if (it == streams_.end()) {
+        if (streams_.size() >= kMaxOpenStreams) {
+            record_failure(0, Status::Overloaded,
+                           "serve: too many open chunk streams");
+            return;
+        }
+        it = streams_.emplace(chunk.stream_id, ChunkStream{}).first;
+        it->second.total = chunk.total_len;
+    }
+    ChunkStream &stream = it->second;
+
+    try {
+        if (chunk.seq != stream.next_seq || chunk.offset != stream.received ||
+            chunk.total_len != stream.total) {
+            throw wire::WireError(
+                "wire: chunk out of order or inconsistent with stream");
+        }
+        const bool complete = stream.parser.feed(chunk.payload);
+        stream.next_seq = chunk.seq + 1;
+        stream.received += chunk.payload.size();
+        if (chunk.last) {
+            if (!complete || stream.received != stream.total) {
+                throw wire::WireError(
+                    "wire: stream ended before request was complete");
+            }
+            Request request = stream.parser.take();
+            streams_.erase(it);
+            submit(std::move(request));
+        } else if (complete) {
+            throw wire::WireError(
+                "wire: request complete before final chunk");
+        }
+    } catch (const wire::WireError &e) {
+        // Abort the whole stream: partial per-input state is discarded.
+        streams_.erase(chunk.stream_id);
+        record_failure(0, Status::ParseError, e.what());
+    }
 }
 
 std::vector<Response> InferenceServer::run() {
@@ -204,6 +291,25 @@ Response InferenceServer::execute(const Request &request,
     resp.dispatch_ns = gpu.queue().clock_ns();
 
     try {
+        // Evaluation keys: the session's own (through the KeyManager's
+        // LRU cache) when registered, else the shared tenant keys.  A
+        // cache miss re-expands from the seed-compressed cold store and
+        // re-uploads the expanded material to the session's lane — the
+        // simulated transfer charge is what makes eviction pressure
+        // visible in the latency tail.
+        const ckks::RelinKeys *relin = has_relin_ ? &relin_ : nullptr;
+        const ckks::GaloisKeys *galois = has_galois_ ? &galois_ : nullptr;
+        std::shared_ptr<const SessionKeys> session_keys;
+        if (key_manager_->has(request.session_id)) {
+            KeyManager::Acquired acq =
+                key_manager_->acquire(request.session_id);
+            session_keys = std::move(acq.keys);
+            relin = &session_keys->relin;
+            galois = &session_keys->galois;
+            if (acq.miss) {
+                evaluator.charge_key_upload(acq.expanded_bytes);
+            }
+        }
         // Operand level: actual max-level encryptions when functional,
         // the requested level for cost-only sweeps.
         std::size_t input_level = host_->max_level();
@@ -234,9 +340,9 @@ Response InferenceServer::execute(const Request &request,
 
         const bool needs_relin = request.op != Op::Rotate &&
                                  request.op != Op::MatmulTile && !is_program;
-        util::require(!needs_relin || has_relin_,
+        util::require(!needs_relin || relin != nullptr,
                       "relin keys not registered");
-        util::require(request.op != Op::Rotate || has_galois_,
+        util::require(request.op != Op::Rotate || galois != nullptr,
                       "galois keys not registered");
 
         // Operands: deserialize + upload, or fabricate for cost-only.
@@ -290,8 +396,8 @@ Response InferenceServer::execute(const Request &request,
                               : &core::routine_program(routine);
             }
             he::ProgramKeys keys;
-            keys.relin = has_relin_ ? &relin_ : nullptr;
-            keys.galois = has_galois_ ? &galois_ : nullptr;
+            keys.relin = relin;
+            keys.galois = galois;
             std::vector<he::Cipher> operands;
             operands.reserve(inputs.size());
             for (auto &ct : inputs) {
@@ -311,8 +417,10 @@ Response InferenceServer::execute(const Request &request,
                                  sizeof(uint64_t));
         }
         resp.ok = true;
+        resp.code = Status::Ok;
     } catch (const std::exception &e) {
         resp.ok = false;
+        resp.code = Status::ExecError;
         resp.error = e.what();
     }
     resp.complete_ns = gpu.queue().clock_ns();
@@ -323,7 +431,9 @@ LatencyStats InferenceServer::stats() const {
     LatencyStats stats;
     stats.requests = latencies_ns_.size();
     stats.failed = failed_;
+    stats.overloaded = overloaded_;
     stats.batches = batches_;
+    stats.keys = key_manager_->stats();
     if (latencies_ns_.empty()) {
         return stats;
     }

@@ -2,15 +2,19 @@
 // encode -> encrypt -> serialize -> dispatch -> respond pipeline that turns
 // the multi-queue scheduler into a client/server system.
 //
-// Clients submit wire-serialized Requests; the server parses them into an
-// admission queue, forms dynamic batches (dispatch when the batch fills or
-// when the admission window expires), deserializes the operand
-// ciphertexts, and runs each request on its session's lane of a
-// GpuEvaluatorPool — so one session's chain stays in-order while distinct
-// sessions overlap across tiles (Section III-D applied per request).
-// Every response carries enqueue/dispatch/complete timestamps off the
-// simulated clock; the server aggregates them into p50/p95/p99 latency and
-// throughput, the serving metrics makespan-only reporting cannot express.
+// Clients submit wire-serialized Requests (monolithic envelopes or bounded
+// chunk-frame streams); the server parses them into an admission queue,
+// forms dynamic batches (dispatch when the batch fills or when the
+// admission window expires), deserializes the operand ciphertexts, and
+// runs each request on its session's lane of a GpuEvaluatorPool — so one
+// session's chain stays in-order while distinct sessions overlap across
+// tiles (Section III-D applied per request).  Per-session evaluation keys
+// live behind a serve::KeyManager: a byte-budgeted LRU cache of expanded
+// keysets over a seed-compressed cold store, so sessions may far outnumber
+// resident keys.  Every response carries enqueue/dispatch/complete
+// timestamps off the simulated clock; the server aggregates them into
+// p50/p95/p99 latency and throughput, the serving metrics makespan-only
+// reporting cannot express.
 #pragma once
 
 #include <memory>
@@ -18,20 +22,28 @@
 #include <unordered_map>
 
 #include "he/program.h"
+#include "serve/key_manager.h"
 #include "serve/protocol.h"
 #include "xehe/evaluator_pool.h"
 
 namespace xehe::serve {
 
+/// Typed rejection of an invalid serving configuration, raised at server
+/// construction — a misconfigured server never comes up half-working.
+class ConfigError : public std::invalid_argument {
+public:
+    explicit ConfigError(const std::string &what)
+        : std::invalid_argument(what) {}
+};
+
 struct ServerConfig {
-    /// Dispatch a batch as soon as this many requests are admitted...
-    /// (0 is treated as 1: every request dispatches on its own).
+    /// Dispatch a batch as soon as this many requests are admitted (must
+    /// be >= 1)...
     std::size_t max_batch = 8;
     /// ...or when the admission window expires with a partial batch
-    /// (simulated ns).  0 disables the wait: partial batches dispatch
-    /// immediately.
+    /// (simulated ns).  Must be positive and finite.
     double batch_window_ns = 100000.0;
-    /// Pool lanes (0 = one per tile of the device).
+    /// Pool lanes: 0 = one per tile of the device, otherwise >= 1.
     int queue_count = 0;
     /// Execute kernels and return real results; false = cost-only (the
     /// N = 32K sweep operating point), responses carry no result bytes.
@@ -42,12 +54,21 @@ struct ServerConfig {
     /// the same circuit pays the compile once.  Off = interpret client
     /// programs exactly as shipped.
     bool compile_programs = true;
+    /// Resident expanded-key budget for the per-session KeyManager
+    /// (bytes, must be positive).  Ignored when a shared KeyManager is
+    /// injected (the sharded server's configuration wins).
+    std::size_t key_budget_bytes = std::size_t{64} << 20;
+
+    /// Throws ConfigError on any invalid field; called by every server
+    /// constructor so an unvalidated config cannot reach the data path.
+    void validate() const;
 };
 
 /// Latency/throughput aggregate over every request served so far.
 struct LatencyStats {
     std::size_t requests = 0;   ///< completed successfully
-    std::size_t failed = 0;
+    std::size_t failed = 0;     ///< includes overloaded rejections
+    std::size_t overloaded = 0; ///< typed backpressure rejections
     std::size_t batches = 0;
     double p50_ms = 0.0;
     double p95_ms = 0.0;
@@ -57,25 +78,57 @@ struct LatencyStats {
     /// Serving window: first enqueue to last completion (simulated).
     double makespan_ms = 0.0;
     double throughput_rps = 0.0;  ///< requests / makespan
+    /// Key-cache counters (see serve::KeyStats): how the resident-key
+    /// budget behaved under this load.
+    KeyStats keys;
 };
 
 class InferenceServer {
 public:
+    /// `key_manager` (optional) shares one key cache across servers — the
+    /// sharded front end passes per-shard managers it owns; standalone
+    /// servers build their own from `config.key_budget_bytes`.  `pool`
+    /// (optional) pins simulated kernel execution to a private host
+    /// thread pool so independent servers may run on concurrent threads
+    /// (ThreadPool::parallel_for is not reentrant across callers).
     InferenceServer(const ckks::CkksContext &host, xgpu::DeviceSpec spec,
-                    core::GpuOptions options, ServerConfig config = {});
+                    core::GpuOptions options, ServerConfig config = {},
+                    std::shared_ptr<KeyManager> key_manager = nullptr,
+                    xgpu::ThreadPool *pool = nullptr);
 
-    /// Registers the tenant's evaluation keys (shared across lanes, as in
-    /// run_batch_serving: one scheme, many sessions).
+    /// Registers the shared tenant evaluation keys used by sessions that
+    /// did not register their own (as in run_batch_serving: one scheme,
+    /// many sessions).
     void set_keys(ckks::RelinKeys relin, ckks::GaloisKeys galois);
+
+    /// Registers per-session keys with the KeyManager; they are held
+    /// seed-compressed and expanded on demand under the byte budget.
+    void register_session_keys(uint64_t session_id,
+                               const ckks::RelinKeys &relin,
+                               const ckks::GaloisKeys &galois);
 
     std::size_t lane_count() const noexcept { return pool_.lane_count(); }
     const ServerConfig &config() const noexcept { return config_; }
+    const KeyManager &key_manager() const noexcept { return *key_manager_; }
 
     /// Admission from bytes: parses the envelope and enqueues.  A buffer
     /// that fails validation is answered immediately with a failed
     /// Response instead of crashing the server.
     void submit(std::span<const uint8_t> request_bytes);
     void submit(Request request);
+
+    /// Admission from one chunk frame of a streamed request (see
+    /// wire::chunk_message / serve::chunk_request).  Chunks of different
+    /// streams may interleave; a stream whose frames arrive corrupted,
+    /// out of order, or inconsistent is aborted with a failed Response
+    /// and its partial state discarded.  The request enqueues when its
+    /// last chunk completes the stream.
+    void submit_chunk(std::span<const uint8_t> frame);
+
+    /// Streams with at least one accepted chunk that have not completed.
+    std::size_t open_streams() const noexcept { return streams_.size(); }
+    /// Requests admitted and not yet drained by run().
+    std::size_t pending_requests() const noexcept { return pending_.size(); }
 
     /// Drains the admission queue through the lanes in dynamic batches and
     /// returns one Response per submitted request, in dispatch order
@@ -101,10 +154,12 @@ private:
     std::shared_ptr<const he::Program> compiled_program(
         uint64_t session_id, std::span<const uint8_t> bytes,
         std::size_t input_level);
+    void record_failure(uint64_t session_id, Status code, std::string error);
 
     const ckks::CkksContext *host_;
     ServerConfig config_;
     core::GpuEvaluatorPool pool_;
+    std::shared_ptr<KeyManager> key_manager_;
     ckks::RelinKeys relin_;
     ckks::GaloisKeys galois_;
     bool has_relin_ = false;
@@ -118,6 +173,17 @@ private:
                        std::shared_ptr<const he::Program>> program_cache_;
     std::size_t program_cache_hits_ = 0;
 
+    /// In-flight chunked streams, bounded (kMaxOpenStreams) so a client
+    /// opening streams and never finishing them cannot grow the server.
+    struct ChunkStream {
+        StreamingRequestParser parser;
+        uint32_t next_seq = 0;
+        uint64_t received = 0;
+        uint64_t total = 0;
+    };
+    static constexpr std::size_t kMaxOpenStreams = 256;
+    std::unordered_map<uint64_t, ChunkStream> streams_;
+
     std::vector<Request> pending_;
     std::vector<Response> parse_failures_;
     double admission_clock_ns_ = 0.0;
@@ -125,6 +191,7 @@ private:
     // Lifetime aggregates for stats().
     std::vector<double> latencies_ns_;
     std::size_t failed_ = 0;
+    std::size_t overloaded_ = 0;
     std::size_t batches_ = 0;
     double first_enqueue_ns_ = -1.0;
     double last_complete_ns_ = 0.0;

@@ -1,0 +1,302 @@
+#include "serve/sharded_server.h"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+#include <utility>
+
+namespace xehe::serve {
+
+namespace {
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit hash for ring points
+/// and session placement (session ids are often small sequential
+/// integers, so placement must not depend on their low bits).
+uint64_t splitmix64(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+double percentile(const std::vector<double> &sorted_ns, double q) {
+    if (sorted_ns.empty()) {
+        return 0.0;
+    }
+    const double rank = std::ceil(q * static_cast<double>(sorted_ns.size()));
+    const std::size_t index =
+        std::min(sorted_ns.size() - 1,
+                 static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
+    return sorted_ns[index];
+}
+
+constexpr std::size_t kMaxFrontStreams = 256;
+
+}  // namespace
+
+void ShardedConfig::validate() const {
+    if (shard_count == 0) {
+        throw ConfigError("serve: shard_count must be >= 1");
+    }
+    if (credits_per_shard == 0) {
+        throw ConfigError("serve: credits_per_shard must be >= 1");
+    }
+    if (vnodes_per_shard == 0) {
+        throw ConfigError("serve: vnodes_per_shard must be >= 1");
+    }
+    if (key_budget_bytes == 0) {
+        throw ConfigError("serve: key_budget_bytes must be positive");
+    }
+    if (pool_workers_per_shard == 0) {
+        throw ConfigError("serve: pool_workers_per_shard must be >= 1");
+    }
+    shard.validate();
+}
+
+ShardedServer::ShardedServer(const ckks::CkksContext &host,
+                             xgpu::DeviceSpec spec, core::GpuOptions options,
+                             ShardedConfig config)
+    : config_(config) {
+    config_.validate();
+
+    ring_.reserve(config_.shard_count * config_.vnodes_per_shard);
+    for (std::size_t s = 0; s < config_.shard_count; ++s) {
+        const uint64_t shard_seed = splitmix64(s + 1);
+        for (std::size_t v = 0; v < config_.vnodes_per_shard; ++v) {
+            ring_.emplace_back(splitmix64(shard_seed + v), s);
+        }
+    }
+    std::sort(ring_.begin(), ring_.end());
+
+    pools_.reserve(config_.shard_count);
+    shards_.reserve(config_.shard_count);
+    for (std::size_t s = 0; s < config_.shard_count; ++s) {
+        // Each shard gets its own simulated device, host thread pool
+        // (parallel_for is single-caller, so concurrent shards must not
+        // share one) and key cache (sessions never move between shards,
+        // so key state shards with them — and LRU order stays
+        // deterministic regardless of shard thread interleaving).
+        pools_.push_back(std::make_unique<xgpu::ThreadPool>(
+            config_.pool_workers_per_shard));
+        shards_.push_back(std::make_unique<InferenceServer>(
+            host, spec, options, config_.shard,
+            std::make_shared<KeyManager>(host, config_.key_budget_bytes),
+            pools_.back().get()));
+    }
+    credits_.assign(config_.shard_count, config_.credits_per_shard);
+}
+
+std::size_t ShardedServer::shard_of(uint64_t session_id) const {
+    const uint64_t h = splitmix64(session_id);
+    auto it = std::lower_bound(
+        ring_.begin(), ring_.end(), h,
+        [](const std::pair<uint64_t, std::size_t> &point, uint64_t key) {
+            return point.first < key;
+        });
+    if (it == ring_.end()) {
+        it = ring_.begin();  // wrap: the ring is circular
+    }
+    return it->second;
+}
+
+void ShardedServer::set_keys(const ckks::RelinKeys &relin,
+                             const ckks::GaloisKeys &galois) {
+    for (auto &shard : shards_) {
+        shard->set_keys(relin, galois);
+    }
+}
+
+void ShardedServer::register_session_keys(uint64_t session_id,
+                                          const ckks::RelinKeys &relin,
+                                          const ckks::GaloisKeys &galois) {
+    shards_[shard_of(session_id)]->register_session_keys(session_id, relin,
+                                                         galois);
+}
+
+bool ShardedServer::admit(Request request) {
+    const std::size_t shard = shard_of(request.session_id);
+    if (credits_[shard] == 0) {
+        Response resp;
+        resp.session_id = request.session_id;
+        resp.ok = false;
+        resp.code = Status::Overloaded;
+        resp.error = "serve: shard out of admission credits";
+        rejections_.push_back(std::move(resp));
+        ++overloaded_;
+        ++failed_;
+        return false;
+    }
+    --credits_[shard];
+    shards_[shard]->submit(std::move(request));
+    return true;
+}
+
+bool ShardedServer::submit(Request request) {
+    return admit(std::move(request));
+}
+
+bool ShardedServer::submit(std::span<const uint8_t> request_bytes) {
+    try {
+        return admit(load_request(request_bytes));
+    } catch (const wire::WireError &e) {
+        Response resp;
+        resp.ok = false;
+        resp.code = Status::ParseError;
+        resp.error = e.what();
+        rejections_.push_back(std::move(resp));
+        ++failed_;
+        return false;
+    }
+}
+
+bool ShardedServer::submit_chunk(std::span<const uint8_t> frame) {
+    // Mirrors InferenceServer::submit_chunk, but assembly happens before
+    // routing: a chunk stream's session id is only known once the fixed
+    // request prefix parses, so credits are charged when the completed
+    // request reaches its shard, not per frame.
+    const auto reject = [this](Status code, std::string error) {
+        Response resp;
+        resp.ok = false;
+        resp.code = code;
+        resp.error = std::move(error);
+        rejections_.push_back(std::move(resp));
+        ++failed_;
+        if (code == Status::Overloaded) {
+            ++overloaded_;
+        }
+        return false;
+    };
+
+    wire::ChunkView chunk;
+    try {
+        chunk = wire::open_chunk(frame);
+    } catch (const wire::WireError &e) {
+        return reject(Status::ParseError, e.what());
+    }
+
+    auto it = streams_.find(chunk.stream_id);
+    if (it == streams_.end()) {
+        if (streams_.size() >= kMaxFrontStreams) {
+            return reject(Status::Overloaded,
+                          "serve: too many open chunk streams");
+        }
+        it = streams_.emplace(chunk.stream_id, FrontChunkStream{}).first;
+        it->second.total = chunk.total_len;
+    }
+    FrontChunkStream &stream = it->second;
+
+    try {
+        if (chunk.seq != stream.next_seq || chunk.offset != stream.received ||
+            chunk.total_len != stream.total) {
+            throw wire::WireError(
+                "wire: chunk out of order or inconsistent with stream");
+        }
+        const bool complete = stream.parser.feed(chunk.payload);
+        stream.next_seq = chunk.seq + 1;
+        stream.received += chunk.payload.size();
+        if (chunk.last) {
+            if (!complete || stream.received != stream.total) {
+                throw wire::WireError(
+                    "wire: stream ended before request was complete");
+            }
+            Request request = stream.parser.take();
+            streams_.erase(it);
+            return admit(std::move(request));
+        }
+        if (complete) {
+            throw wire::WireError("wire: request complete before final chunk");
+        }
+        return true;
+    } catch (const wire::WireError &e) {
+        streams_.erase(chunk.stream_id);
+        return reject(Status::ParseError, e.what());
+    }
+}
+
+std::vector<Response> ShardedServer::run() {
+    std::vector<Response> responses = std::move(rejections_);
+    rejections_.clear();
+
+    // One host thread per shard; each drains its own admission queue on
+    // its own simulated device through its own thread pool.  The shards
+    // share only the immutable CkksContext, so the drain is race-free —
+    // the TSan CI lane runs exactly this path.
+    std::vector<std::vector<Response>> per_shard(shards_.size());
+    {
+        std::vector<std::thread> threads;
+        threads.reserve(shards_.size());
+        for (std::size_t s = 0; s < shards_.size(); ++s) {
+            threads.emplace_back(
+                [this, s, &per_shard] { per_shard[s] = shards_[s]->run(); });
+        }
+        for (auto &t : threads) {
+            t.join();
+        }
+    }
+
+    for (std::size_t s = 0; s < per_shard.size(); ++s) {
+        for (Response &resp : per_shard[s]) {
+            if (resp.ok) {
+                latencies_ns_.push_back(resp.latency_ns());
+                last_complete_ns_ =
+                    std::max(last_complete_ns_, resp.complete_ns);
+                if (first_enqueue_ns_ < 0.0 ||
+                    resp.enqueue_ns < first_enqueue_ns_) {
+                    first_enqueue_ns_ = resp.enqueue_ns;
+                }
+            }
+            responses.push_back(std::move(resp));
+        }
+    }
+    credits_.assign(shards_.size(), config_.credits_per_shard);
+    return responses;
+}
+
+LatencyStats ShardedServer::stats() const {
+    LatencyStats merged;
+    merged.failed = failed_;
+    merged.overloaded = overloaded_;
+    for (const auto &shard : shards_) {
+        const LatencyStats s = shard->stats();
+        merged.failed += s.failed;
+        merged.overloaded += s.overloaded;
+        merged.batches += s.batches;
+        merged.keys.sessions += s.keys.sessions;
+        merged.keys.resident += s.keys.resident;
+        merged.keys.hits += s.keys.hits;
+        merged.keys.misses += s.keys.misses;
+        merged.keys.evictions += s.keys.evictions;
+        merged.keys.reexpand_ms += s.keys.reexpand_ms;
+        merged.keys.resident_bytes += s.keys.resident_bytes;
+        merged.keys.peak_resident_bytes += s.keys.peak_resident_bytes;
+        merged.keys.budget_bytes += s.keys.budget_bytes;
+        merged.keys.cold_bytes += s.keys.cold_bytes;
+    }
+    merged.requests = latencies_ns_.size();
+    if (latencies_ns_.empty()) {
+        return merged;
+    }
+    std::vector<double> sorted = latencies_ns_;
+    std::sort(sorted.begin(), sorted.end());
+    merged.p50_ms = percentile(sorted, 0.50) * 1e-6;
+    merged.p95_ms = percentile(sorted, 0.95) * 1e-6;
+    merged.p99_ms = percentile(sorted, 0.99) * 1e-6;
+    merged.max_ms = sorted.back() * 1e-6;
+    double sum = 0.0;
+    for (const double v : sorted) {
+        sum += v;
+    }
+    merged.mean_ms = sum / static_cast<double>(sorted.size()) * 1e-6;
+    // Shards drain concurrently, so the serving window spans the earliest
+    // enqueue to the latest completion over every shard.
+    const double window_ns =
+        last_complete_ns_ - std::max(first_enqueue_ns_, 0.0);
+    merged.makespan_ms = window_ns * 1e-6;
+    merged.throughput_rps =
+        window_ns > 0.0
+            ? static_cast<double>(merged.requests) / (window_ns * 1e-9)
+            : 0.0;
+    return merged;
+}
+
+}  // namespace xehe::serve

@@ -1,5 +1,6 @@
 #include "wire/wire.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <cmath>
@@ -536,6 +537,78 @@ ckks::RelinKeys load_relin_keys(std::span<const uint8_t> buffer,
 ckks::GaloisKeys load_galois_keys(std::span<const uint8_t> buffer,
                                   const ckks::CkksContext &ctx) {
     return load_enveloped<ckks::GaloisKeys>(buffer, ctx);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked streaming frames
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<uint8_t>> chunk_message(uint64_t stream_id,
+                                                std::span<const uint8_t> body,
+                                                std::size_t max_payload) {
+    max_payload = std::min(std::max<std::size_t>(1, max_payload),
+                           kMaxChunkPayload);
+    check(body.size() <= kMaxStreamBytes, "wire: stream too large to chunk");
+    std::vector<std::vector<uint8_t>> frames;
+    const std::size_t count =
+        body.empty() ? 1 : (body.size() + max_payload - 1) / max_payload;
+    frames.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t offset = i * max_payload;
+        const std::size_t len =
+            std::min(max_payload, body.size() - offset);
+        const bool last = i + 1 == count;
+        Writer w;
+        w.reserve(kChunkOverheadBytes + len);
+        w.u32(kChunkMagic);
+        w.u16(kVersion);
+        w.u16(last ? 1 : 0);
+        w.u64(stream_id);
+        w.u32(static_cast<uint32_t>(i));
+        w.u32(static_cast<uint32_t>(len));
+        w.u64(offset);
+        w.u64(body.size());
+        w.bytes(body.subspan(offset, len));
+        w.u64(detail::fnv1a64(w.buffer()));
+        frames.push_back(w.take());
+    }
+    return frames;
+}
+
+ChunkView open_chunk(std::span<const uint8_t> frame) {
+    check(frame.size() >= kChunkOverheadBytes,
+          "wire: chunk frame shorter than header");
+    // Checksum first: a frame that fails it is corrupt, and none of its
+    // header fields can be trusted for a finer-grained diagnosis.
+    Reader tail(frame.subspan(frame.size() - 8));
+    check(tail.u64() ==
+              detail::fnv1a64(frame.subspan(0, frame.size() - 8)),
+          "wire: chunk checksum mismatch");
+    Reader r(frame);
+    check(r.u32() == kChunkMagic, "wire: bad chunk magic");
+    check(r.u16() == kVersion, "wire: unsupported chunk version");
+    const uint16_t flags = r.u16();
+    check(flags <= 1, "wire: bad chunk flags");
+    ChunkView view;
+    view.last = flags != 0;
+    view.stream_id = r.u64();
+    view.seq = r.u32();
+    const uint32_t payload_len = r.u32();
+    view.offset = r.u64();
+    view.total_len = r.u64();
+    check(payload_len <= kMaxChunkPayload, "wire: oversized chunk payload");
+    check(frame.size() == kChunkOverheadBytes + payload_len,
+          "wire: chunk frame length mismatch");
+    check(view.total_len <= kMaxStreamBytes, "wire: oversized stream");
+    // Ordered so the additions below cannot overflow: total_len is bounded
+    // first, then offset is bounded by it.
+    check(view.offset <= view.total_len, "wire: chunk offset out of range");
+    check(view.offset + payload_len <= view.total_len,
+          "wire: chunk overruns stream");
+    check(view.last == (view.offset + payload_len == view.total_len),
+          "wire: chunk last flag inconsistent with stream length");
+    view.payload = r.bytes(payload_len);
+    return view;
 }
 
 }  // namespace xehe::wire

@@ -36,9 +36,11 @@ public:
 };
 
 inline constexpr uint32_t kMagic = 0x45484558u;  ///< "XEHE", little-endian
-/// Version 2: adds the Program payload (he:: circuit IR) and the program
-/// field of serve::Request.  Loads reject other versions.
-inline constexpr uint16_t kVersion = 2;
+/// Version 3: adds the typed status code of serve::Response and the
+/// chunked streaming frames (kChunkMagic) that carry large requests as
+/// bounded, checksummed segments.  (Version 2 added the Program payload
+/// and the program field of serve::Request.)  Loads reject other versions.
+inline constexpr uint16_t kVersion = 3;
 /// Envelope header: magic + version + reserved + payload length.
 inline constexpr std::size_t kHeaderBytes = 16;
 /// Envelope overhead: 16-byte header + 8-byte payload checksum.
@@ -200,6 +202,54 @@ std::vector<uint8_t> serialize(const T &obj) {
         std::span<const uint8_t>(w.buffer()).subspan(kHeaderBytes)));
     return w.take();
 }
+
+// ---------------------------------------------------------------------------
+// Chunked streaming frames: one logical message (a stream) travels as a
+// sequence of bounded, individually checksummed chunk frames, so a large
+// ciphertext batch never has to exist as one monolithic validated buffer
+// on the receiving side.  Each frame is self-contained:
+//
+//   u32 chunk magic "XEHC" | u16 version | u16 flags (bit 0: last chunk) |
+//   u64 stream_id | u32 seq | u32 payload_len | u64 offset | u64 total_len |
+//   payload | u64 FNV-1a(frame minus checksum)
+//
+// Receivers validate magic/version/bounds/continuity per frame and feed
+// the payload straight to an incremental parser; corruption is caught at
+// chunk granularity instead of after buffering the whole message.
+// ---------------------------------------------------------------------------
+
+inline constexpr uint32_t kChunkMagic = 0x43484558u;  ///< "XEHC"
+/// Largest payload one chunk frame may carry; the receive-side buffering
+/// bound of the streaming path.
+inline constexpr std::size_t kMaxChunkPayload = 64 * 1024;
+/// Largest total stream length a receiver will accept (256 MiB).
+inline constexpr uint64_t kMaxStreamBytes = uint64_t{1} << 28;
+/// Fixed frame overhead: the 40-byte header (magic u32, version u16,
+/// flags u16, stream_id u64, seq u32, payload_len u32, offset u64,
+/// total_len u64) plus the trailing 8-byte FNV-1a checksum.
+inline constexpr std::size_t kChunkHeaderBytes = 40;
+inline constexpr std::size_t kChunkOverheadBytes = kChunkHeaderBytes + 8;
+
+/// Validated view into one chunk frame; `payload` aliases the frame bytes.
+struct ChunkView {
+    uint64_t stream_id = 0;
+    uint32_t seq = 0;
+    bool last = false;
+    uint64_t offset = 0;     ///< byte offset of payload within the stream
+    uint64_t total_len = 0;  ///< total stream length in bytes
+    std::span<const uint8_t> payload;
+};
+
+/// Slices `body` into checksummed chunk frames for `stream_id`.  Every
+/// frame's payload is at most `max_payload` (clamped to kMaxChunkPayload);
+/// an empty body yields one empty last-marked frame.
+std::vector<std::vector<uint8_t>> chunk_message(
+    uint64_t stream_id, std::span<const uint8_t> body,
+    std::size_t max_payload = kMaxChunkPayload);
+
+/// Validates one chunk frame (magic, version, bounds, checksum) and
+/// returns a view of its header fields and payload.  Throws WireError.
+ChunkView open_chunk(std::span<const uint8_t> frame);
 
 util::Modulus load_modulus(std::span<const uint8_t> buffer);
 std::vector<util::Modulus> load_modulus_chain(std::span<const uint8_t> buffer);

@@ -8,9 +8,10 @@ namespace xehe::core {
 
 GpuEvaluatorPool::GpuEvaluatorPool(const ckks::CkksContext &host,
                                    xgpu::DeviceSpec spec, GpuOptions options,
-                                   int queue_count)
+                                   int queue_count, xgpu::ThreadPool *pool)
     : scheduler_(std::move(spec),
-                 xgpu::ExecConfig{1, options.isa, true}, queue_count) {
+                 xgpu::ExecConfig{1, options.isa, true}, queue_count,
+                 pool ? pool : &xgpu::ThreadPool::global()) {
     lanes_.reserve(scheduler_.queue_count());
     for (std::size_t i = 0; i < scheduler_.queue_count(); ++i) {
         // The pool owns the queues, so it — not the bound contexts —

@@ -18,9 +18,15 @@ namespace xehe::core {
 /// Per-tile GpuContext/GpuEvaluator lanes over one shared Scheduler.
 class GpuEvaluatorPool {
 public:
-    /// `queue_count` = 0 creates one lane per tile of `spec`.
+    /// `queue_count` = 0 creates one lane per tile of `spec`.  `pool`
+    /// (nullptr = the process-global ThreadPool) pins this pool's
+    /// simulated kernel execution to a private host thread pool;
+    /// ThreadPool::parallel_for is single-caller, so pools that run on
+    /// concurrent host threads (one per serving shard) must not share
+    /// one.
     GpuEvaluatorPool(const ckks::CkksContext &host, xgpu::DeviceSpec spec,
-                     GpuOptions options = {}, int queue_count = 0);
+                     GpuOptions options = {}, int queue_count = 0,
+                     xgpu::ThreadPool *pool = nullptr);
 
     std::size_t lane_count() const noexcept { return lanes_.size(); }
     xgpu::Scheduler &scheduler() noexcept { return scheduler_; }

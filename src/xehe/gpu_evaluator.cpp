@@ -571,6 +571,10 @@ GpuCiphertext GpuEvaluator::set_scale(const GpuCiphertext &a,
     return out;
 }
 
+void GpuEvaluator::charge_key_upload(std::size_t bytes) const {
+    gpu_->queue().transfer(bytes);
+}
+
 void GpuEvaluator::begin_dyadic_group() const {
     util::require(open_group_ == nullptr,
                   "dyadic groups do not nest");

@@ -79,6 +79,14 @@ public:
     /// override on a shared handle.
     GpuCiphertext set_scale(const GpuCiphertext &a, double scale) const;
 
+    /// Charges the simulated host->device transfer of `bytes` of key
+    /// material on this evaluator's queue.  The serving layer calls this
+    /// when a key-cache miss re-expands a session's evaluation keys: the
+    /// kernels themselves read host-resident key structures, so the
+    /// re-upload latency of cold keys must be charged explicitly to show
+    /// up on the lane's timeline.
+    void charge_key_upload(std::size_t bytes) const;
+
     // --- pre-planned dyadic groups --------------------------------------
     /// Opens a dyadic fusion group: until end_dyadic_group(), the
     /// single-launch dyadic primitives (add/sub/negate/plain ops/square/

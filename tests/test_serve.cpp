@@ -12,6 +12,7 @@
 namespace xehe::test {
 namespace {
 
+using serve::ConfigError;
 using serve::InferenceServer;
 using serve::Op;
 using serve::Request;
@@ -189,7 +190,9 @@ TEST(Serve, DynamicBatchingFormsExpectedBatches) {
     ServeBench b;
     ServerConfig cfg;
     cfg.max_batch = 2;
-    cfg.batch_window_ns = 0.0;
+    // All five requests arrive at t = 0, so any positive window forms the
+    // same batches a zero window would.
+    cfg.batch_window_ns = 1000.0;
     cfg.functional = false;
     auto server = b.server(cfg);
 
@@ -205,15 +208,11 @@ TEST(Serve, DynamicBatchingFormsExpectedBatches) {
     // 5 simultaneous arrivals, batch cap 2 -> 3 batches.
     EXPECT_EQ(server.stats().batches, 3u);
 
-    // max_batch = 0 is clamped to 1 ("no batching"), not a hang.
+    // max_batch = 0 is a configuration error, rejected at construction —
+    // not clamped, not a hang.
     ServerConfig degenerate = cfg;
     degenerate.max_batch = 0;
-    auto unbatched = b.server(degenerate);
-    Request req;
-    req.op = Op::SqrLinRS;
-    req.cost_only = true;
-    unbatched.submit(std::move(req));
-    EXPECT_EQ(unbatched.run().size(), 1u);
+    EXPECT_THROW(b.server(degenerate), ConfigError);
 
     // Later batches dispatch no earlier than earlier ones.
     for (std::size_t i = 1; i < responses.size(); ++i) {

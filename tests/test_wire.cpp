@@ -252,6 +252,7 @@ TEST(WireProtocol, RequestResponseRoundTrip) {
     serve::Response resp;
     resp.session_id = 42;
     resp.ok = true;
+    resp.code = serve::Status::Ok;
     resp.result = req.inputs[0];
     resp.enqueue_ns = 1.0;
     resp.dispatch_ns = 2.0;
