@@ -14,21 +14,27 @@
 #include <cstdio>
 #include <vector>
 
+#include "he/registry.h"
 #include "he/session.h"
 #include "xgpu/device.h"
 
 int main() {
     using namespace xehe;
 
-    // 1. Parameters and the GPU backend (radix-8 SLM NTT, inline asm,
-    //    memory cache, async pipeline — the paper's full stack).
+    // 1. Parameters, then a backend through the registry: "gpu" (radix-8
+    //    SLM NTT, inline asm, memory cache, async pipeline — the paper's
+    //    full stack) when its capability probe passes, the host oracle
+    //    otherwise.  Try XEHE_DISABLE_BACKENDS=gpu to watch the same
+    //    program degrade gracefully.
     const ckks::CkksContext context(
         ckks::EncryptionParameters::create(8192, 3));
-    core::GpuOptions options;
-    options.isa = xgpu::IsaMode::InlineAsm;
-    core::GpuContext gpu(context, xgpu::device1(), options);
-    core::GpuEvaluator evaluator(gpu);
-    he::GpuBackend backend(gpu, evaluator);
+    he::BackendEnv env;
+    env.context = &context;
+    env.options.isa = xgpu::IsaMode::InlineAsm;
+    const he::BackendBundle bundle =
+        he::BackendRegistry::instance().create_or_host("gpu", env);
+    he::Backend &backend = bundle.backend();
+    std::printf("backend: %s\n", backend.name());
 
     // 2. One session = keys + encoder + automatic scale/level management.
     he::Session session(backend);
@@ -79,8 +85,11 @@ int main() {
                 bytes.size(), circuit.nodes.size(), outputs[0].level(),
                 std::log2(outputs[0].scale()));
 
-    std::printf("Simulated GPU time: %.3f ms (%.1f%% in NTT kernels)\n",
-                gpu.profiler().total_ns() * 1e-6,
-                100.0 * gpu.profiler().ntt_fraction());
+    if (auto *gpu_backend = dynamic_cast<he::GpuBackend *>(&backend)) {
+        auto &profiler = gpu_backend->gpu().profiler();
+        std::printf("Simulated GPU time: %.3f ms (%.1f%% in NTT kernels)\n",
+                    profiler.total_ns() * 1e-6,
+                    100.0 * profiler.ntt_fraction());
+    }
     return 0;
 }

@@ -177,6 +177,8 @@ public:
     const core::GpuCiphertext &native(const Cipher &a) const {
         return *static_cast<const core::GpuCiphertext *>(impl_of(a));
     }
+    /// The device context this backend drives (queue, profiler).
+    core::GpuContext &gpu() const noexcept { return *gpu_; }
 
 private:
     core::GpuContext *gpu_;

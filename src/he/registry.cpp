@@ -1,0 +1,202 @@
+#include "he/registry.h"
+
+#include <cstdlib>
+#include <utility>
+
+namespace xehe::he {
+
+namespace {
+
+/// Owned state of a standalone "gpu" bundle: the simulated device context
+/// and its evaluator, destroyed together after the backend.
+struct GpuResources {
+    GpuResources(const ckks::CkksContext &host, xgpu::DeviceSpec spec,
+                 core::GpuOptions options)
+        : gpu(host, std::move(spec), options), evaluator(gpu) {}
+
+    core::GpuContext gpu;
+    core::GpuEvaluator evaluator;
+};
+
+/// Comma/space/semicolon-separated backend names from
+/// XEHE_DISABLE_BACKENDS.
+std::set<std::string> parse_disabled_env() {
+    std::set<std::string> disabled;
+    const char *env = std::getenv("XEHE_DISABLE_BACKENDS");
+    if (env == nullptr) {
+        return disabled;
+    }
+    std::string token;
+    for (const char *p = env;; ++p) {
+        const char c = *p;
+        if (c == '\0' || c == ',' || c == ';' || c == ' ' || c == '\t') {
+            if (!token.empty()) {
+                disabled.insert(token);
+                token.clear();
+            }
+            if (c == '\0') {
+                break;
+            }
+        } else {
+            token.push_back(c);
+        }
+    }
+    return disabled;
+}
+
+}  // namespace
+
+BackendRegistry &BackendRegistry::instance() {
+    static BackendRegistry registry;
+    return registry;
+}
+
+BackendRegistry::BackendRegistry() : disabled_(parse_disabled_env()) {
+    // "host": the CPU correctness oracle.  Always constructible — it is
+    // the floor every fallback lands on.
+    register_backend(
+        "host", [] { return true; },
+        [](const BackendEnv &env) {
+            if (env.context == nullptr) {
+                throw BackendUnavailable("host",
+                                         "BackendEnv carries no CkksContext");
+            }
+            return BackendBundle("host", nullptr,
+                                 std::make_shared<HostBackend>(*env.context));
+        });
+
+    // "gpu": the simulated-GPU evaluator.  The probe is where a real
+    // accelerator backend would check for a driver/device; the simulated
+    // device is compiled in, so only forced disabling makes it
+    // unavailable.  The factory wraps caller-owned lane resources when
+    // the env carries them (the pool/server path: one backend per
+    // scheduler lane), else constructs a standalone device.
+    register_backend(
+        "gpu", [] { return true; },
+        [](const BackendEnv &env) {
+            if (env.gpu_context != nullptr && env.gpu_evaluator != nullptr) {
+                return BackendBundle(
+                    "gpu", nullptr,
+                    std::make_shared<GpuBackend>(*env.gpu_context,
+                                                 *env.gpu_evaluator));
+            }
+            if (env.context == nullptr) {
+                throw BackendUnavailable("gpu",
+                                         "BackendEnv carries no CkksContext");
+            }
+            auto resources = std::make_shared<GpuResources>(
+                *env.context, env.spec, env.options);
+            auto backend = std::make_shared<GpuBackend>(resources->gpu,
+                                                        resources->evaluator);
+            return BackendBundle("gpu", std::move(resources),
+                                 std::move(backend));
+        });
+}
+
+void BackendRegistry::register_backend(std::string name, Probe probe,
+                                       Factory factory) {
+    util::require(!name.empty(), "he: backend name must not be empty");
+    util::require(probe != nullptr && factory != nullptr,
+                  "he: backend probe and factory must be set");
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.insert_or_assign(std::move(name),
+                              Entry{std::move(probe), std::move(factory)});
+}
+
+bool BackendRegistry::registered(const std::string &name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.find(name) != entries_.end();
+}
+
+bool BackendRegistry::available(const std::string &name) const {
+    Probe probe;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = entries_.find(name);
+        if (it == entries_.end() || disabled_.count(name) != 0) {
+            return false;
+        }
+        probe = it->second.probe;
+    }
+    return probe();  // outside the lock: probes may do real work
+}
+
+bool BackendRegistry::disabled(const std::string &name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return disabled_.count(name) != 0;
+}
+
+void BackendRegistry::set_disabled(const std::string &name, bool disabled) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (disabled) {
+        disabled_.insert(name);
+    } else {
+        disabled_.erase(name);
+    }
+}
+
+std::vector<std::string> BackendRegistry::names() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const auto &[name, entry] : entries_) {
+        out.push_back(name);
+    }
+    return out;  // std::map iterates sorted
+}
+
+BackendRegistry::Entry BackendRegistry::entry_of(
+    const std::string &name) const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(name);
+    if (it == entries_.end()) {
+        throw BackendUnavailable(name, "not registered");
+    }
+    if (disabled_.count(name) != 0) {
+        throw BackendUnavailable(
+            name, "disabled (XEHE_DISABLE_BACKENDS or set_disabled)");
+    }
+    return it->second;
+}
+
+BackendBundle BackendRegistry::create(const std::string &name,
+                                      const BackendEnv &env) const {
+    const Entry entry = entry_of(name);
+    if (!entry.probe()) {
+        throw BackendUnavailable(name, "capability probe failed");
+    }
+    try {
+        BackendBundle bundle = entry.factory(env);
+        util::require(bundle.valid(),
+                      "he: backend factory returned an empty bundle");
+        return bundle;
+    } catch (const BackendUnavailable &) {
+        throw;
+    } catch (const std::exception &e) {
+        // A factory that throws anything is an unavailable backend to the
+        // caller — construction failure degrades exactly like a failed
+        // probe instead of surfacing as an unrelated error type.
+        throw BackendUnavailable(name, e.what());
+    }
+}
+
+void BackendRegistry::require_available(const std::string &name) const {
+    const Entry entry = entry_of(name);  // throws on unknown/disabled
+    if (!entry.probe()) {
+        throw BackendUnavailable(name, "capability probe failed");
+    }
+}
+
+BackendBundle BackendRegistry::create_or_host(const std::string &name,
+                                              const BackendEnv &env) const {
+    if (name != "host" && available(name)) {
+        try {
+            return create(name, env);
+        } catch (const BackendUnavailable &) {
+            // Raced a disable, or the factory failed: fall through.
+        }
+    }
+    return create("host", env);
+}
+
+}  // namespace xehe::he

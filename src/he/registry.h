@@ -1,0 +1,147 @@
+// Runtime backend registry with capability probing and typed
+// unavailability — the seam through which every higher layer obtains an
+// he::Backend instead of hard-wiring a concrete construction.
+//
+// Each backend registers under a name with a capability probe
+// (available()) and a factory; asking for a backend whose probe fails —
+// or whose factory throws — raises the typed he::BackendUnavailable
+// instead of a silent crash, so callers can degrade (the serving stack
+// falls back to the host backend and counts the event) rather than fail
+// the request.  The built-in entries are "host" (the CPU correctness
+// oracle, always available) and "gpu" (the simulated-GPU evaluator);
+// a future second accelerator plugs in through register_backend without
+// touching any consumer.
+//
+// Forced unavailability: the XEHE_DISABLE_BACKENDS environment variable
+// (comma/space-separated names, read once at first use) marks backends
+// unavailable for the whole process — the CI lane that proves the
+// serving stack degrades to host end to end.  set_disabled() does the
+// same per-test.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "he/backend.h"
+#include "xgpu/device.h"
+
+namespace xehe::he {
+
+/// Typed failure: the named backend is not registered, is disabled, its
+/// capability probe failed, or its factory could not construct it.
+class BackendUnavailable : public std::runtime_error {
+public:
+    BackendUnavailable(std::string backend, const std::string &why)
+        : std::runtime_error("he: backend '" + backend +
+                             "' unavailable: " + why),
+          backend_(std::move(backend)) {}
+
+    const std::string &backend() const noexcept { return backend_; }
+
+private:
+    std::string backend_;
+};
+
+/// Everything a factory may need to construct a backend.  `context` is
+/// required by every built-in; the optional gpu lane fields make the
+/// "gpu" factory wrap caller-owned per-lane resources (the serving pool
+/// path) instead of constructing a standalone device.
+struct BackendEnv {
+    const ckks::CkksContext *context = nullptr;
+    /// Existing lane resources to wrap (both or neither; caller keeps
+    /// them alive for the bundle's lifetime).
+    core::GpuContext *gpu_context = nullptr;
+    const core::GpuEvaluator *gpu_evaluator = nullptr;
+    /// Standalone construction parameters, used when no lane resources
+    /// are supplied.
+    xgpu::DeviceSpec spec = xgpu::device1();
+    core::GpuOptions options;
+};
+
+/// A constructed backend plus whatever owned state keeps it alive
+/// (device context, evaluator).  Movable; the backend is destroyed
+/// before its resources.
+class BackendBundle {
+public:
+    BackendBundle() = default;
+    BackendBundle(std::string name, std::shared_ptr<void> resources,
+                  std::shared_ptr<Backend> backend)
+        : name_(std::move(name)), resources_(std::move(resources)),
+          backend_(std::move(backend)) {}
+
+    bool valid() const noexcept { return backend_ != nullptr; }
+    const std::string &name() const noexcept { return name_; }
+    Backend &backend() const {
+        util::require(backend_ != nullptr, "he: empty backend bundle");
+        return *backend_;
+    }
+
+private:
+    std::string name_;
+    // Declaration order matters: backend_ is destroyed first (it holds
+    // pointers into resources_).
+    std::shared_ptr<void> resources_;
+    std::shared_ptr<Backend> backend_;
+};
+
+/// Process-wide name -> (probe, factory) registry.  All methods are
+/// thread-safe; probes and factories run outside the registry lock.
+class BackendRegistry {
+public:
+    using Probe = std::function<bool()>;
+    using Factory = std::function<BackendBundle(const BackendEnv &)>;
+
+    static BackendRegistry &instance();
+
+    /// Registers (or replaces) a backend.  `probe` answers "could a
+    /// factory call succeed right now"; `factory` constructs the backend
+    /// or throws.
+    void register_backend(std::string name, Probe probe, Factory factory);
+
+    /// The name has an entry (regardless of probe/disable state).
+    bool registered(const std::string &name) const;
+    /// Registered, not disabled, and the capability probe passes.
+    bool available(const std::string &name) const;
+    /// The name is currently force-disabled (XEHE_DISABLE_BACKENDS or
+    /// set_disabled) — exposed so tests can save and restore the state.
+    bool disabled(const std::string &name) const;
+    /// Force-disables (or re-enables) a backend at runtime; disabled
+    /// backends report unavailable and their factories are never run.
+    void set_disabled(const std::string &name, bool disabled);
+
+    /// Registered backend names, sorted.
+    std::vector<std::string> names() const;
+
+    /// Constructs the named backend; throws BackendUnavailable when it is
+    /// unknown, disabled, fails its probe, or its factory throws.
+    BackendBundle create(const std::string &name, const BackendEnv &env) const;
+
+    /// Throws BackendUnavailable unless available(name).
+    void require_available(const std::string &name) const;
+
+    /// create(name) if available, else the host backend — the graceful
+    /// degradation path in one call.
+    BackendBundle create_or_host(const std::string &name,
+                                 const BackendEnv &env) const;
+
+private:
+    BackendRegistry();
+
+    struct Entry {
+        Probe probe;
+        Factory factory;
+    };
+    /// Copies the entry out under the lock, throwing on unknown/disabled.
+    Entry entry_of(const std::string &name) const;
+
+    mutable std::mutex mutex_;
+    std::map<std::string, Entry> entries_;
+    std::set<std::string> disabled_;
+};
+
+}  // namespace xehe::he

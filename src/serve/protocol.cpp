@@ -1,5 +1,6 @@
 #include "serve/protocol.h"
 
+#include <algorithm>
 #include <cmath>
 
 namespace xehe::serve {
@@ -37,6 +38,15 @@ const char *op_name(Op op) {
     return "unknown";
 }
 
+const char *backend_hint_name(BackendHint hint) {
+    switch (hint) {
+        case BackendHint::Auto: return "auto";
+        case BackendHint::Host: return "host";
+        case BackendHint::Gpu: return "gpu";
+    }
+    return "unknown";
+}
+
 std::size_t op_arity(Op op) {
     switch (op) {
         case Op::MulLin:
@@ -59,6 +69,7 @@ void save(wire::Writer &w, const Request &req) {
     w.f64(req.arrival_ns);
     w.u8(req.cost_only ? 1 : 0);
     w.u64(req.cost_only_level);
+    w.u8(static_cast<uint8_t>(req.backend));
     w.u8(static_cast<uint8_t>(req.inputs.size()));
     for (const auto &input : req.inputs) {
         w.u64(input.size());
@@ -87,6 +98,10 @@ void load(wire::Reader &r, Request &req) {
     req.cost_only = cost_only != 0;
     req.cost_only_level = r.u64();
     check(req.cost_only_level <= 64, "wire: bad cost-only level");
+    const uint8_t hint = r.u8();
+    check(hint <= static_cast<uint8_t>(BackendHint::Gpu),
+          "wire: bad backend hint");
+    req.backend = static_cast<BackendHint>(hint);
     const uint8_t count = r.u8();
     if (req.op == Op::Program) {
         // The exact arity is the shipped program's input count; the
@@ -180,8 +195,8 @@ std::vector<std::vector<uint8_t>> chunk_request(const Request &req,
 namespace {
 
 /// Fixed Request-body prefix: tag(1) session(8) op(1) rotate(8) matmul(8)
-/// arrival(8) cost_only(1) cost_level(8) input_count(1).
-constexpr std::size_t kFixedPrefixBytes = 44;
+/// arrival(8) cost_only(1) cost_level(8) backend_hint(1) input_count(1).
+constexpr std::size_t kFixedPrefixBytes = 45;
 /// Per-operand bound for the streaming path (the monolithic path is
 /// implicitly bounded by its envelope length).
 constexpr std::size_t kMaxInputBytes = std::size_t{1} << 26;
@@ -209,6 +224,10 @@ void StreamingRequestParser::finish_fixed() {
     request_.cost_only = cost_only != 0;
     request_.cost_only_level = r.u64();
     check(request_.cost_only_level <= 64, "wire: bad cost-only level");
+    const uint8_t hint = r.u8();
+    check(hint <= static_cast<uint8_t>(BackendHint::Gpu),
+          "wire: bad backend hint");
+    request_.backend = static_cast<BackendHint>(hint);
     const uint8_t count = r.u8();
     if (request_.op == Op::Program) {
         check(count <= 64, "wire: bad input count");
@@ -259,7 +278,11 @@ bool StreamingRequestParser::feed(std::span<const uint8_t> bytes) {
                     check(len <= kMaxInputBytes,
                           "wire: oversized operand buffer");
                     request_.inputs.emplace_back();
-                    request_.inputs.back().reserve(len);
+                    // Eagerly reserve at most one chunk's worth: a
+                    // declared-but-never-sent length must not commit
+                    // memory before the bytes actually arrive.
+                    request_.inputs.back().reserve(
+                        std::min<std::size_t>(len, wire::kMaxChunkPayload));
                     body_remaining_ = len;
                     ++inputs_parsed_;
                     state_ = State::InputBody;
@@ -272,7 +295,8 @@ bool StreamingRequestParser::feed(std::span<const uint8_t> bytes) {
                     check(len <= (1u << 24), "wire: oversized program");
                     check(request_.op == Op::Program ? len > 0 : len == 0,
                           "wire: program bytes do not match op");
-                    request_.program.reserve(len);
+                    request_.program.reserve(
+                        std::min<std::size_t>(len, wire::kMaxChunkPayload));
                     body_remaining_ = len;
                     state_ = body_remaining_ == 0 ? State::Done
                                                   : State::ProgramBody;

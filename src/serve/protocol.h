@@ -27,6 +27,19 @@ enum class Op : uint8_t {
 
 const char *op_name(Op op);
 
+/// Per-request backend selection (wire v4).  Auto defers to the server:
+/// cost-model routing when configured, else the GPU pool when one is up.
+/// Host/Gpu pin the request; a Gpu-pinned request still degrades to the
+/// host backend (counted in LatencyStats::fallbacks) when no GPU backend
+/// is available, rather than failing.
+enum class BackendHint : uint8_t {
+    Auto = 0,
+    Host = 1,
+    Gpu = 2,
+};
+
+const char *backend_hint_name(BackendHint hint);
+
 /// Operand ciphertexts required by a fixed-function op (1 to 3).  For
 /// Op::Program the arity is the shipped program's input count; this
 /// returns 0.
@@ -44,6 +57,8 @@ struct Request {
     /// upload, matching the paper's N = 32K cost-only operating point.
     bool cost_only = false;
     uint64_t cost_only_level = 0;
+    /// Which backend should execute this request (see BackendHint).
+    BackendHint backend = BackendHint::Auto;
     /// Operand ciphertexts, each a self-contained wire envelope
     /// (wire::serialize of a ckks::Ciphertext), in op order (for
     /// Op::Program: in program-input order).
@@ -126,7 +141,7 @@ public:
 
 private:
     enum class State : uint8_t {
-        Fixed,        ///< tag .. input count (fixed 44-byte prefix)
+        Fixed,        ///< tag .. input count (fixed 45-byte prefix)
         InputLen,     ///< u64 length of the next operand
         InputBody,    ///< operand bytes -> request_.inputs.back()
         ProgramLen,   ///< u64 program length
@@ -139,7 +154,7 @@ private:
 
     State state_ = State::Fixed;
     std::vector<uint8_t> pending_;   ///< partial fixed header / length field
-    std::size_t need_ = 44;          ///< bytes wanted in the current state
+    std::size_t need_ = 45;          ///< bytes wanted in the current state
     std::size_t input_count_ = 0;
     std::size_t inputs_parsed_ = 0;
     std::size_t body_remaining_ = 0;  ///< of the operand/program being read

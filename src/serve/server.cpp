@@ -26,6 +26,16 @@ namespace {
 
 constexpr double kScale = 1099511627776.0;  // 2^40
 
+/// Deterministic host-lane time model: per program node, per RNS limb.
+/// The host backend has no device clock, so host-executed requests charge
+/// a synthetic, strictly positive lane time — batching, lane contention
+/// and percentile behavior stay measurable (and deterministic) in
+/// fallback mode.  Calibrated to sit above the simulated GPU on the same
+/// work: falling back is graceful, not free.
+constexpr double kHostNodeNs = 40000.0;
+/// Host-side charge for re-staging an evicted expanded keyset (per byte).
+constexpr double kHostKeyLoadNsPerByte = 0.25;
+
 /// Cost-only operand: allocated at level, upload charged, never encrypted
 /// (the paper's N = 32K operating point, as in run_batch_serving).
 core::GpuCiphertext fabricate(core::GpuContext &gpu, std::size_t size,
@@ -72,14 +82,41 @@ InferenceServer::InferenceServer(const ckks::CkksContext &host,
                                  std::shared_ptr<KeyManager> key_manager,
                                  xgpu::ThreadPool *pool)
     : host_(&host), config_((config.validate(), config)),
-      pool_(host, std::move(spec), options, config.queue_count, pool),
       key_manager_(key_manager
                        ? std::move(key_manager)
                        : std::make_shared<KeyManager>(
                              host, config.key_budget_bytes)) {
-    pool_.set_functional(config_.functional);
-    // Lane construction uploads NTT tables; serving time starts at zero.
-    pool_.scheduler().reset_clocks();
+    he::BackendRegistry &registry = he::BackendRegistry::instance();
+    if (registry.available("gpu")) {
+        try {
+            pool_ = std::make_unique<core::GpuEvaluatorPool>(
+                host, spec, options, config_.queue_count, pool);
+        } catch (const he::BackendUnavailable &) {
+            // The probe passed but construction lost the race (or the
+            // factory failed): degrade to host-only instead of refusing
+            // to come up.
+            pool_.reset();
+        }
+    }
+    if (pool_) {
+        pool_->set_functional(config_.functional);
+        // Lane construction uploads NTT tables; serving time starts at
+        // zero.
+        pool_->scheduler().reset_clocks();
+        host_lane_ns_.assign(pool_->lane_count(), 0.0);
+    } else {
+        // Host-only: mirror the lane topology the GPU pool would have
+        // had, so session -> lane placement (and the multi-lane
+        // throughput behavior) survives the fallback.
+        const std::size_t lanes =
+            config_.queue_count > 0
+                ? static_cast<std::size_t>(config_.queue_count)
+                : static_cast<std::size_t>(std::max(spec.tiles, 1));
+        host_lane_ns_.assign(lanes, 0.0);
+    }
+    he::BackendEnv env;
+    env.context = &host;
+    host_bundle_ = registry.create("host", env);
 }
 
 void InferenceServer::set_keys(ckks::RelinKeys relin, ckks::GaloisKeys galois) {
@@ -135,14 +172,24 @@ void InferenceServer::submit_chunk(std::span<const uint8_t> frame) {
     auto it = streams_.find(chunk.stream_id);
     if (it == streams_.end()) {
         if (streams_.size() >= kMaxOpenStreams) {
+            // At the cap, evict the least-recently-fed stream: a client
+            // that opens streams and never finishes them must not pin
+            // the stream table and lock new streams out forever.
+            auto stale = streams_.begin();
+            for (auto s = streams_.begin(); s != streams_.end(); ++s) {
+                if (s->second.last_fed < stale->second.last_fed) {
+                    stale = s;
+                }
+            }
+            streams_.erase(stale);
             record_failure(0, Status::Overloaded,
-                           "serve: too many open chunk streams");
-            return;
+                           "serve: evicted stale chunk stream");
         }
         it = streams_.emplace(chunk.stream_id, ChunkStream{}).first;
         it->second.total = chunk.total_len;
     }
     ChunkStream &stream = it->second;
+    stream.last_fed = ++stream_tick_;
 
     try {
         if (chunk.seq != stream.next_seq || chunk.offset != stream.received ||
@@ -275,15 +322,73 @@ std::shared_ptr<const he::Program> InferenceServer::compiled_program(
     return compiled;
 }
 
+std::size_t InferenceServer::route_cost(const Request &request) const {
+    if (request.op == Op::MatmulTile) {
+        return 2 * static_cast<std::size_t>(request.matmul_tiles);
+    }
+    if (request.op == Op::Program) {
+        // The circuit is not parsed yet at routing time; its wire size
+        // is a monotone proxy for node count.
+        return request.program.size() / 16;
+    }
+    return core::routine_program(static_cast<core::Routine>(request.op))
+        .nodes.size();
+}
+
 Response InferenceServer::execute(const Request &request,
                                   double dispatch_time) {
+    // Routing: an explicit hint wins; Auto takes the GPU pool when one
+    // is up, except that cost routing (when configured) keeps small jobs
+    // on host.  Any request that wanted the GPU but cannot have it runs
+    // on host and is counted as a fallback instead of failing.
+    bool use_host = false;
+    bool fallback = false;
+    if (request.backend == BackendHint::Host) {
+        use_host = true;
+    } else if (!pool_) {
+        use_host = true;
+        fallback = true;
+    } else if (request.backend == BackendHint::Auto &&
+               config_.host_route_max_cost > 0 &&
+               route_cost(request) <= config_.host_route_max_cost) {
+        use_host = true;
+    }
+    if (!use_host) {
+        try {
+            return execute_gpu(request, dispatch_time);
+        } catch (const he::BackendUnavailable &) {
+            // The registry refused the backend mid-flight (disabled
+            // between admission and dispatch): degrade this request.
+            fallback = true;
+        }
+    }
+    ++host_requests_;
+    if (fallback) {
+        ++fallbacks_;
+    }
+    return execute_host(request, dispatch_time);
+}
+
+Response InferenceServer::execute_gpu(const Request &request,
+                                      double dispatch_time) {
     Response resp;
     resp.session_id = request.session_id;
     resp.enqueue_ns = request.arrival_ns;
 
-    const std::size_t lane = pool_.lane_of(request.session_id);
-    core::GpuContext &gpu = pool_.context(lane);
-    core::GpuEvaluator &evaluator = pool_.evaluator(lane);
+    const std::size_t lane = pool_->lane_of(request.session_id);
+    core::GpuContext &gpu = pool_->context(lane);
+    core::GpuEvaluator &evaluator = pool_->evaluator(lane);
+
+    // Through the registry, wrapping this lane's resources — and throwing
+    // the typed BackendUnavailable (before any clock or key side effect)
+    // if "gpu" has been pulled out from under the server.
+    he::BackendEnv env;
+    env.context = host_;
+    env.gpu_context = &gpu;
+    env.gpu_evaluator = &evaluator;
+    const he::BackendBundle bundle =
+        he::BackendRegistry::instance().create("gpu", env);
+    auto &backend = static_cast<he::GpuBackend &>(bundle.backend());
 
     // Kernels of this request start no earlier than its batch dispatch;
     // a busy lane pushes the start further (queueing delay).
@@ -363,7 +468,6 @@ Response InferenceServer::execute(const Request &request,
             }
         }
 
-        he::GpuBackend backend(gpu, evaluator);
         he::Cipher result;
         if (request.op == Op::MatmulTile) {
             // One output tile of the encrypted matmul: a chain of fused
@@ -427,12 +531,155 @@ Response InferenceServer::execute(const Request &request,
     return resp;
 }
 
+Response InferenceServer::execute_host(const Request &request,
+                                       double dispatch_time) {
+    Response resp;
+    resp.session_id = request.session_id;
+    resp.enqueue_ns = request.arrival_ns;
+
+    // Same session -> lane placement as the pool, on simulated host lane
+    // clocks: one session's requests stay ordered, distinct sessions
+    // overlap across lanes, and batching/queueing behavior survives the
+    // fallback unchanged.
+    const std::size_t lane = request.session_id % host_lane_ns_.size();
+    double clock = std::max(host_lane_ns_[lane], dispatch_time);
+    resp.dispatch_ns = clock;
+
+    he::Backend &backend = host_bundle_.backend();
+    try {
+        // Key acquisition mirrors the GPU path; the re-staging charge of
+        // an evicted keyset lands on the lane clock instead of a device
+        // queue.
+        const ckks::RelinKeys *relin = has_relin_ ? &relin_ : nullptr;
+        const ckks::GaloisKeys *galois = has_galois_ ? &galois_ : nullptr;
+        std::shared_ptr<const SessionKeys> session_keys;
+        if (key_manager_->has(request.session_id)) {
+            KeyManager::Acquired acq =
+                key_manager_->acquire(request.session_id);
+            session_keys = std::move(acq.keys);
+            relin = &session_keys->relin;
+            galois = &session_keys->galois;
+            if (acq.miss) {
+                clock += kHostKeyLoadNsPerByte *
+                         static_cast<double>(acq.expanded_bytes);
+            }
+        }
+
+        std::size_t input_level = host_->max_level();
+        if (request.cost_only && request.cost_only_level != 0) {
+            input_level = std::min<std::size_t>(request.cost_only_level,
+                                                host_->max_level());
+        }
+
+        std::shared_ptr<const he::Program> client_program;
+        const bool is_program = request.op == Op::Program;
+        if (is_program) {
+            if (config_.compile_programs) {
+                client_program = compiled_program(request.session_id,
+                                                  request.program,
+                                                  input_level);
+            } else {
+                auto raw = he::load_program(request.program, *host_);
+                util::require(raw.outputs.size() == 1,
+                              "served programs must have exactly one output");
+                client_program =
+                    std::make_shared<const he::Program>(std::move(raw));
+            }
+        }
+
+        const bool needs_relin = request.op != Op::Rotate &&
+                                 request.op != Op::MatmulTile && !is_program;
+        util::require(!needs_relin || relin != nullptr,
+                      "relin keys not registered");
+        util::require(request.op != Op::Rotate || galois != nullptr,
+                      "galois keys not registered");
+
+        // Deterministic lane-time charge: nodes x per-node cost x limb
+        // count.  Strictly positive, so dispatch < complete holds for
+        // every served request.
+        std::size_t nodes = 1;
+        if (request.op == Op::MatmulTile) {
+            nodes = 2 * static_cast<std::size_t>(request.matmul_tiles);
+        } else if (is_program) {
+            nodes = std::max<std::size_t>(client_program->nodes.size(), 1);
+        } else {
+            nodes = std::max<std::size_t>(
+                core::routine_program(static_cast<core::Routine>(request.op))
+                    .nodes.size(),
+                1);
+        }
+        clock += kHostNodeNs * static_cast<double>(nodes) *
+                 static_cast<double>(input_level + 1);
+
+        if (!request.cost_only) {
+            const std::size_t arity = is_program ? client_program->num_inputs
+                                                 : op_arity(request.op);
+            util::require(request.inputs.size() == arity,
+                          "input count does not match op");
+            std::vector<he::Cipher> operands;
+            operands.reserve(arity);
+            for (const auto &bytes : request.inputs) {
+                operands.push_back(
+                    backend.upload(wire::load_ciphertext(bytes, *host_)));
+            }
+
+            he::Cipher result;
+            if (request.op == Op::MatmulTile) {
+                // The GPU path's t-fold multiply-accumulate of a*b is the
+                // size-3 product added to itself tiles-1 more times.
+                const he::Cipher product =
+                    backend.multiply(operands[0], operands[1]);
+                result = product;
+                for (uint64_t t = 1; t < request.matmul_tiles; ++t) {
+                    result = backend.add(result, product);
+                }
+            } else {
+                he::Program stepped_rotate;
+                const he::Program *program = nullptr;
+                if (is_program) {
+                    program = client_program.get();
+                } else if (request.op == Op::Rotate &&
+                           request.rotate_step != 1) {
+                    stepped_rotate = he::rotate_program(request.rotate_step);
+                    program = &stepped_rotate;
+                } else {
+                    const auto routine =
+                        static_cast<core::Routine>(request.op);
+                    program = config_.compile_programs
+                                  ? &core::routine_program_compiled(routine)
+                                  : &core::routine_program(routine);
+                }
+                he::ProgramKeys keys;
+                keys.relin = relin;
+                keys.galois = galois;
+                result = std::move(
+                    he::run_program(*program, backend, operands, keys)
+                        .front());
+            }
+            if (config_.functional) {
+                resp.result = wire::serialize(backend.download(result));
+            }
+        }
+        resp.ok = true;
+        resp.code = Status::Ok;
+    } catch (const std::exception &e) {
+        resp.ok = false;
+        resp.code = Status::ExecError;
+        resp.error = e.what();
+    }
+    host_lane_ns_[lane] = clock;
+    resp.complete_ns = clock;
+    return resp;
+}
+
 LatencyStats InferenceServer::stats() const {
     LatencyStats stats;
     stats.requests = latencies_ns_.size();
     stats.failed = failed_;
     stats.overloaded = overloaded_;
     stats.batches = batches_;
+    stats.fallbacks = fallbacks_;
+    stats.host_requests = host_requests_;
     stats.keys = key_manager_->stats();
     if (latencies_ns_.empty()) {
         return stats;

@@ -22,6 +22,7 @@
 #include <unordered_map>
 
 #include "he/program.h"
+#include "he/registry.h"
 #include "serve/key_manager.h"
 #include "serve/protocol.h"
 #include "xehe/evaluator_pool.h"
@@ -58,6 +59,13 @@ struct ServerConfig {
     /// (bytes, must be positive).  Ignored when a shared KeyManager is
     /// injected (the sharded server's configuration wins).
     std::size_t key_budget_bytes = std::size_t{64} << 20;
+    /// Cost-model request routing: a BackendHint::Auto request whose
+    /// estimated cost (canonical node count; matmul tiles; program size
+    /// proxy) is <= this threshold runs on the host backend even when
+    /// the GPU pool is up — small jobs skip the device queues.  0
+    /// (default) disables cost routing.  Explicit per-request hints
+    /// always win.
+    std::size_t host_route_max_cost = 0;
 
     /// Throws ConfigError on any invalid field; called by every server
     /// constructor so an unvalidated config cannot reach the data path.
@@ -70,6 +78,13 @@ struct LatencyStats {
     std::size_t failed = 0;     ///< includes overloaded rejections
     std::size_t overloaded = 0; ///< typed backpressure rejections
     std::size_t batches = 0;
+    /// Requests that wanted the GPU (Auto or Gpu hint) but ran on the
+    /// host backend because no GPU backend was available — graceful
+    /// degradation, not failure.
+    std::size_t fallbacks = 0;
+    /// Requests executed on the host backend for any reason (explicit
+    /// hint, cost routing, or fallback).
+    std::size_t host_requests = 0;
     double p50_ms = 0.0;
     double p95_ms = 0.0;
     double p99_ms = 0.0;
@@ -107,7 +122,12 @@ public:
                                const ckks::RelinKeys &relin,
                                const ckks::GaloisKeys &galois);
 
-    std::size_t lane_count() const noexcept { return pool_.lane_count(); }
+    /// Lanes requests are distributed over: the GPU pool's lanes, or the
+    /// same number of simulated host lanes when the server fell back.
+    std::size_t lane_count() const noexcept { return host_lane_ns_.size(); }
+    /// True when the server came up with a GPU evaluator pool; false when
+    /// it degraded to host-only at construction.
+    bool gpu_pool_active() const noexcept { return pool_ != nullptr; }
     const ServerConfig &config() const noexcept { return config_; }
     const KeyManager &key_manager() const noexcept { return *key_manager_; }
 
@@ -148,6 +168,17 @@ public:
 
 private:
     Response execute(const Request &request, double dispatch_time);
+    /// The GPU execution path (requires pool_); throws
+    /// he::BackendUnavailable before any side effect if the "gpu"
+    /// registry entry vanished, so execute() can fall back to host.
+    Response execute_gpu(const Request &request, double dispatch_time);
+    /// The host execution path: real HostBackend evaluation for
+    /// functional requests, plus a deterministic synthetic lane-time
+    /// model so latency/batching behavior stays measurable without a
+    /// device clock.
+    Response execute_host(const Request &request, double dispatch_time);
+    /// Cheap routing cost proxy for BackendHint::Auto requests.
+    std::size_t route_cost(const Request &request) const;
     /// The compiled form of a client program, from the per-session cache
     /// when the same session already shipped these exact bytes (compiled
     /// under the same assumed input level).
@@ -158,7 +189,16 @@ private:
 
     const ckks::CkksContext *host_;
     ServerConfig config_;
-    core::GpuEvaluatorPool pool_;
+    /// Null when the "gpu" backend was unavailable at construction: the
+    /// server comes up host-only instead of failing, and every request
+    /// that wanted the GPU is served on host and counted as a fallback.
+    std::unique_ptr<core::GpuEvaluatorPool> pool_;
+    /// The registry-constructed host backend every host-routed or
+    /// fallen-back request executes on.
+    he::BackendBundle host_bundle_;
+    /// Per-lane simulated clocks for host execution (sized to
+    /// lane_count(); all-zero and unused while requests run on the GPU).
+    std::vector<double> host_lane_ns_;
     std::shared_ptr<KeyManager> key_manager_;
     ckks::RelinKeys relin_;
     ckks::GaloisKeys galois_;
@@ -180,9 +220,14 @@ private:
         uint32_t next_seq = 0;
         uint64_t received = 0;
         uint64_t total = 0;
+        uint64_t last_fed = 0;  ///< admission tick of the latest frame
     };
     static constexpr std::size_t kMaxOpenStreams = 256;
     std::unordered_map<uint64_t, ChunkStream> streams_;
+    /// Monotone admission tick for stream staleness: at the open-stream
+    /// cap the least-recently-fed stream is evicted (with a typed
+    /// failure) instead of rejecting new streams forever.
+    uint64_t stream_tick_ = 0;
 
     std::vector<Request> pending_;
     std::vector<Response> parse_failures_;
@@ -193,6 +238,8 @@ private:
     std::size_t failed_ = 0;
     std::size_t overloaded_ = 0;
     std::size_t batches_ = 0;
+    std::size_t fallbacks_ = 0;
+    std::size_t host_requests_ = 0;
     double first_enqueue_ns_ = -1.0;
     double last_complete_ns_ = 0.0;
 };

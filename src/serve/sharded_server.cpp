@@ -177,13 +177,23 @@ bool ShardedServer::submit_chunk(std::span<const uint8_t> frame) {
     auto it = streams_.find(chunk.stream_id);
     if (it == streams_.end()) {
         if (streams_.size() >= kMaxFrontStreams) {
-            return reject(Status::Overloaded,
-                          "serve: too many open chunk streams");
+            // Evict the least-recently-fed stream: abandoned streams
+            // must not pin the front-door table and reject every new
+            // stream forever.
+            auto stale = streams_.begin();
+            for (auto s = streams_.begin(); s != streams_.end(); ++s) {
+                if (s->second.last_fed < stale->second.last_fed) {
+                    stale = s;
+                }
+            }
+            streams_.erase(stale);
+            reject(Status::Overloaded, "serve: evicted stale chunk stream");
         }
         it = streams_.emplace(chunk.stream_id, FrontChunkStream{}).first;
         it->second.total = chunk.total_len;
     }
     FrontChunkStream &stream = it->second;
+    stream.last_fed = ++stream_tick_;
 
     try {
         if (chunk.seq != stream.next_seq || chunk.offset != stream.received ||
@@ -261,6 +271,8 @@ LatencyStats ShardedServer::stats() const {
         merged.failed += s.failed;
         merged.overloaded += s.overloaded;
         merged.batches += s.batches;
+        merged.fallbacks += s.fallbacks;
+        merged.host_requests += s.host_requests;
         merged.keys.sessions += s.keys.sessions;
         merged.keys.resident += s.keys.resident;
         merged.keys.hits += s.keys.hits;

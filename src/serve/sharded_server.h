@@ -116,8 +116,12 @@ private:
         uint32_t next_seq = 0;
         uint64_t received = 0;
         uint64_t total = 0;
+        uint64_t last_fed = 0;  ///< admission tick of the latest frame
     };
     std::unordered_map<uint64_t, FrontChunkStream> streams_;
+    /// Staleness tick: at the open-stream cap the least-recently-fed
+    /// stream is evicted instead of locking out new streams forever.
+    uint64_t stream_tick_ = 0;
 
     // Lifetime aggregates (completed requests across every run()).
     std::vector<double> latencies_ns_;

@@ -185,7 +185,11 @@ double Reader::f64() {
 }
 
 void Reader::words(std::span<uint64_t> out) {
-    need(out.size() * 8);
+    // Divide instead of multiplying: a huge (attacker-influenced) word
+    // count must not wrap `count * 8` past the bounds check.
+    if (remaining() / 8 < out.size()) {
+        throw WireError("wire: truncated buffer");
+    }
     if constexpr (std::endian::native == std::endian::little) {
         std::memcpy(out.data(), data_.data() + pos_, out.size() * 8);
         pos_ += out.size() * 8;
@@ -226,6 +230,9 @@ std::span<const uint8_t> open_envelope(std::span<const uint8_t> buffer) {
     check(r.u32() == kMagic, "wire: bad magic");
     check(r.u16() == kVersion, "wire: unsupported version");
     check(r.u16() == 0, "wire: bad reserved field");
+    // Exact-length equality before the payload is even viewed: a
+    // malformed payload_len (up to SIZE_MAX) is rejected here, before
+    // any allocation or arithmetic that could wrap.
     const uint64_t payload_len = r.u64();
     check(payload_len == buffer.size() - kEnvelopeBytes,
           "wire: payload length mismatch");

@@ -36,11 +36,13 @@ public:
 };
 
 inline constexpr uint32_t kMagic = 0x45484558u;  ///< "XEHE", little-endian
-/// Version 3: adds the typed status code of serve::Response and the
-/// chunked streaming frames (kChunkMagic) that carry large requests as
-/// bounded, checksummed segments.  (Version 2 added the Program payload
-/// and the program field of serve::Request.)  Loads reject other versions.
-inline constexpr uint16_t kVersion = 3;
+/// Version 4: adds the per-request backend-selection hint of
+/// serve::Request.  (Version 3 added the typed status code of
+/// serve::Response and the chunked streaming frames (kChunkMagic) that
+/// carry large requests as bounded, checksummed segments; version 2 the
+/// Program payload and the program field of serve::Request.)  Loads
+/// reject other versions.
+inline constexpr uint16_t kVersion = 4;
 /// Envelope header: magic + version + reserved + payload length.
 inline constexpr std::size_t kHeaderBytes = 16;
 /// Envelope overhead: 16-byte header + 8-byte payload checksum.

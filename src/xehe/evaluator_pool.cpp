@@ -3,13 +3,15 @@
 #include <random>
 
 #include "ckks/encoder.h"
+#include "he/registry.h"
 
 namespace xehe::core {
 
 GpuEvaluatorPool::GpuEvaluatorPool(const ckks::CkksContext &host,
                                    xgpu::DeviceSpec spec, GpuOptions options,
                                    int queue_count, xgpu::ThreadPool *pool)
-    : scheduler_(std::move(spec),
+    : scheduler_((he::BackendRegistry::instance().require_available("gpu"),
+                  std::move(spec)),
                  xgpu::ExecConfig{1, options.isa, true}, queue_count,
                  pool ? pool : &xgpu::ThreadPool::global()) {
     lanes_.reserve(scheduler_.queue_count());

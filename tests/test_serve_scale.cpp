@@ -459,6 +459,227 @@ TEST(ServeScale, BurstBeyondCreditsGetsTypedOverload) {
     EXPECT_TRUE(server.submit(b.cost_request(77)));
 }
 
+// ---------------------------------------------------------------------------
+// Regression: key re-registration under churn
+// ---------------------------------------------------------------------------
+
+// Re-registering a session (key rotation) must invalidate the replaced
+// entry's expanded state and LRU slot: the next acquire must re-expand
+// the NEW keys, and the resident-byte accounting must never exceed the
+// budget even under rotate-and-acquire churn.
+TEST(KeyManager, ReregistrationInvalidatesExpandedStateUnderChurn) {
+    ScaleBench b;
+    KeyManager manager(b.host.context, 2 * b.keyset_bytes);
+    manager.register_session(1, b.relin, b.galois);
+    manager.register_session(2, b.relin, b.galois);
+
+    const auto old_acq = manager.acquire(1);
+    const auto old_snapshot = old_acq.keys->relin.key.keys;  // deep copy
+    manager.acquire(2);
+    EXPECT_TRUE(manager.resident(1));
+
+    // Rotate session 1's keys: a fresh generator over the same context
+    // produces a different secret, so the new material must differ.
+    ckks::KeyGenerator keygen2(b.host.context);
+    const auto relin2 = keygen2.create_relin_keys();
+    const int steps[] = {1, -1};
+    const auto galois2 = keygen2.create_galois_keys(steps);
+    manager.register_session(1, relin2, galois2);
+
+    // The replaced expansion is gone, not resold as the new keys.
+    EXPECT_FALSE(manager.resident(1));
+    EXPECT_LE(manager.stats().resident_bytes, manager.stats().budget_bytes);
+
+    const auto new_acq = manager.acquire(1);
+    EXPECT_TRUE(new_acq.miss);
+    ASSERT_EQ(new_acq.keys->relin.key.keys.size(), old_snapshot.size());
+    bool differs = false;
+    for (std::size_t i = 0; i < old_snapshot.size() && !differs; ++i) {
+        differs = new_acq.keys->relin.key.keys[i].data !=
+                  old_snapshot[i].data;
+    }
+    EXPECT_TRUE(differs) << "re-registration served the stale expansion";
+    const auto new_snapshot = new_acq.keys->relin.key.keys;
+
+    // Churn: rotate and touch sessions against the two-keyset budget; the
+    // accounting invariant must hold at every step.
+    for (uint64_t round = 0; round < 6; ++round) {
+        const uint64_t victim = 1 + round % 2;
+        manager.register_session(victim, b.relin, b.galois);
+        manager.acquire(victim);
+        manager.acquire(1 + (round + 1) % 2);
+        const auto stats = manager.stats();
+        EXPECT_LE(stats.resident_bytes, stats.budget_bytes) << round;
+        EXPECT_LE(stats.peak_resident_bytes, stats.budget_bytes) << round;
+    }
+
+    // And a rotation's keys stay bit-exact across eviction churn.
+    manager.register_session(1, relin2, galois2);
+    const auto again = manager.acquire(1);
+    ASSERT_EQ(again.keys->relin.key.keys.size(), new_snapshot.size());
+    for (std::size_t i = 0; i < new_snapshot.size(); ++i) {
+        EXPECT_EQ(again.keys->relin.key.keys[i].data, new_snapshot[i].data);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression: sharded credit accounting on reject paths
+// ---------------------------------------------------------------------------
+
+// Rejected traffic must neither leak nor double-refund credits: malformed
+// envelopes are refused before any charge, never-completing chunk streams
+// hold no credit, and completed streams pay exactly one — so a burst of
+// mixed good/malformed traffic leaves the windows exactly accountable and
+// run() restores them in full.
+TEST(ServeScale, CreditAccountingExactUnderMixedTraffic) {
+    ScaleBench b;
+    ShardedConfig cfg;
+    cfg.shard_count = 2;
+    cfg.credits_per_shard = 4;
+    cfg.shard.functional = false;
+    ShardedServer server(b.host.context, xgpu::device1(), core::GpuOptions{},
+                         cfg);
+    server.set_keys(b.relin, b.galois);
+
+    const uint64_t session = 7;
+    const std::size_t shard = server.shard_of(session);
+    const std::size_t other = 1 - shard;
+
+    // 1. A good monolithic request charges its shard one credit.
+    EXPECT_TRUE(server.submit(wire::serialize(b.cost_request(session))));
+    EXPECT_EQ(server.credits(shard), cfg.credits_per_shard - 1);
+    EXPECT_EQ(server.credits(other), cfg.credits_per_shard);
+
+    // 2. Malformed envelopes reject with ParseError and charge nothing.
+    std::vector<uint8_t> garbage(64, 0xAB);
+    EXPECT_FALSE(server.submit(std::span<const uint8_t>(garbage)));
+    auto corrupt = wire::serialize(b.cost_request(session));
+    corrupt[corrupt.size() / 2] ^= 0x01;  // checksum mismatch
+    EXPECT_FALSE(server.submit(std::span<const uint8_t>(corrupt)));
+    EXPECT_EQ(server.credits(shard), cfg.credits_per_shard - 1);
+    EXPECT_EQ(server.credits(other), cfg.credits_per_shard);
+
+    // 3. A never-completing chunk stream holds no credit...
+    const auto frames = serve::chunk_request(b.cost_request(session), 500, 16);
+    ASSERT_GE(frames.size(), 2u);
+    for (std::size_t i = 0; i + 1 < frames.size(); ++i) {
+        EXPECT_TRUE(server.submit_chunk(frames[i]));
+    }
+    EXPECT_EQ(server.credits(shard), cfg.credits_per_shard - 1);
+
+    // ...and a completed stream pays exactly one, at completion.
+    const auto whole = serve::chunk_request(b.cost_request(session), 501, 16);
+    for (const auto &frame : whole) {
+        EXPECT_TRUE(server.submit_chunk(frame));
+    }
+    EXPECT_EQ(server.credits(shard), cfg.credits_per_shard - 2);
+    EXPECT_EQ(server.credits(other), cfg.credits_per_shard);
+
+    // 4. Exhaust the shard with a mixed burst: good requests beyond the
+    // window get typed Overloaded, malformed ones still ParseError, and
+    // neither corrupts the count.
+    std::size_t admitted = 0;
+    for (int i = 0; i < 8; ++i) {
+        admitted += server.submit(b.cost_request(session)) ? 1 : 0;
+        EXPECT_FALSE(server.submit(std::span<const uint8_t>(garbage)));
+    }
+    EXPECT_EQ(admitted, cfg.credits_per_shard - 2);
+    EXPECT_EQ(server.credits(shard), 0u);
+
+    const auto responses = server.run();
+    std::size_t ok = 0, parse = 0, overload = 0;
+    for (const auto &resp : responses) {
+        if (resp.ok) {
+            ++ok;
+        } else if (resp.code == Status::ParseError) {
+            ++parse;
+        } else if (resp.code == Status::Overloaded) {
+            ++overload;
+        }
+    }
+    EXPECT_EQ(ok, cfg.credits_per_shard);       // every admitted request ran
+    EXPECT_EQ(parse, 2u + 8u);                  // every malformed rejection
+    EXPECT_EQ(overload, 8u - admitted);         // every out-of-credit reject
+    // run() replenished the windows in full — no leak, no double refund.
+    EXPECT_EQ(server.credits(shard), cfg.credits_per_shard);
+    EXPECT_EQ(server.credits(other), cfg.credits_per_shard);
+}
+
+// ---------------------------------------------------------------------------
+// Regression: abandoned chunk streams must not lock out new streams
+// ---------------------------------------------------------------------------
+
+// Pre-fix, 256 never-completed streams pinned the stream table forever and
+// every later stream was rejected. Now the least-recently-fed stream is
+// evicted (with a typed Overloaded failure) and fresh streams admit.
+TEST(ServeScale, StaleChunkStreamsAreEvictedNotPinned) {
+    ScaleBench b;
+    ServerConfig cfg;
+    cfg.functional = false;
+    InferenceServer server(b.host.context, xgpu::device1(), core::GpuOptions{},
+                           cfg);
+    server.set_keys(b.relin, b.galois);
+
+    // Fill the open-stream table with abandoned first frames.
+    for (uint64_t id = 1; id <= 256; ++id) {
+        const auto frames = serve::chunk_request(b.cost_request(id), id, 16);
+        ASSERT_GE(frames.size(), 2u);
+        server.submit_chunk(frames[0]);
+    }
+    EXPECT_EQ(server.open_streams(), 256u);
+
+    // A complete stream must still get through.
+    const auto whole = serve::chunk_request(b.cost_request(999), 9999, 16);
+    for (const auto &frame : whole) {
+        server.submit_chunk(frame);
+    }
+    EXPECT_EQ(server.pending_requests(), 1u);
+    EXPECT_LE(server.open_streams(), 256u);
+
+    const auto responses = server.run();
+    std::size_t ok = 0, evicted = 0;
+    for (const auto &resp : responses) {
+        if (resp.ok) {
+            ++ok;
+        } else if (resp.code == Status::Overloaded) {
+            ++evicted;
+        }
+    }
+    EXPECT_EQ(ok, 1u);
+    EXPECT_EQ(evicted, 1u);  // exactly one stale stream made room
+}
+
+TEST(ServeScale, ShardedStaleChunkStreamsAreEvictedNotPinned) {
+    ScaleBench b;
+    ShardedConfig cfg;
+    cfg.shard_count = 2;
+    cfg.shard.functional = false;
+    ShardedServer server(b.host.context, xgpu::device1(), core::GpuOptions{},
+                         cfg);
+    server.set_keys(b.relin, b.galois);
+
+    for (uint64_t id = 1; id <= 256; ++id) {
+        const auto frames = serve::chunk_request(b.cost_request(id), id, 16);
+        server.submit_chunk(frames[0]);
+    }
+    const auto whole = serve::chunk_request(b.cost_request(999), 9999, 16);
+    for (const auto &frame : whole) {
+        EXPECT_TRUE(server.submit_chunk(frame));
+    }
+
+    const auto responses = server.run();
+    std::size_t ok = 0, evicted = 0;
+    for (const auto &resp : responses) {
+        if (resp.ok) {
+            ++ok;
+        } else if (resp.code == Status::Overloaded) {
+            ++evicted;
+        }
+    }
+    EXPECT_EQ(ok, 1u);
+    EXPECT_EQ(evicted, 1u);
+}
+
 TEST(ServeScale, ShardedChunkedSubmissionRoutesAndRuns) {
     ScaleBench b;
     ShardedConfig cfg;

@@ -265,6 +265,39 @@ TEST(WireProtocol, RequestResponseRoundTrip) {
     EXPECT_EQ(resp_loaded.latency_ns(), 2.0);
 }
 
+TEST(WireProtocol, BackendHintRoundTripAndValidation) {
+    auto &b = bench();
+    for (const serve::BackendHint hint :
+         {serve::BackendHint::Auto, serve::BackendHint::Host,
+          serve::BackendHint::Gpu}) {
+        SCOPED_TRACE(serve::backend_hint_name(hint));
+        serve::Request req;
+        req.op = serve::Op::SqrLinRS;
+        req.backend = hint;
+        req.inputs.push_back(wire::serialize(b.enc(b.values(75))));
+        const auto loaded = serve::load_request(wire::serialize(req));
+        EXPECT_EQ(loaded.backend, hint);
+    }
+
+    // An out-of-range hint byte (with the checksum re-stamped so only the
+    // hint is wrong) is a typed wire error, not an enum out of range.
+    serve::Request req;
+    req.op = serve::Op::SqrLinRS;
+    req.inputs.push_back(wire::serialize(b.enc(b.values(76))));
+    auto bytes = wire::serialize(req);
+    // Envelope header is 16 bytes; the hint sits at fixed-prefix offset
+    // 43 (tag 1, session 8, op 1, rotate 8, matmul 8, arrival 8,
+    // cost_only 1, cost_level 8).
+    bytes[16 + 43] = 3;
+    const uint64_t sum = wire::detail::fnv1a64(std::span<const uint8_t>(
+        bytes.data() + 16, bytes.size() - 24));
+    for (std::size_t i = 0; i < 8; ++i) {
+        bytes[bytes.size() - 8 + i] =
+            static_cast<uint8_t>(sum >> (8 * i));
+    }
+    EXPECT_THROW(serve::load_request(bytes), WireError);
+}
+
 // ---------------------------------------------------------------------------
 // Robustness: truncations, bit flips, type confusion
 // ---------------------------------------------------------------------------
@@ -377,6 +410,50 @@ TEST(WireFuzz, EveryLoadOverloadRejectsCorruption) {
         wire::serialize(resp),
         [](std::span<const uint8_t> s) { return serve::load_response(s); },
         "response");
+}
+
+// A hostile envelope declaring a payload length near SIZE_MAX must be
+// rejected by the length-consistency check before any allocation sized
+// from the field could be attempted (and the arithmetic must not wrap
+// past the bounds check).
+TEST(WireFuzz, HugePayloadLengthRejectedBeforeAllocation) {
+    const auto craft = [](uint64_t payload_len) {
+        wire::Writer w;
+        w.u32(wire::kMagic);
+        w.u16(wire::kVersion);
+        w.u16(0);
+        w.u64(payload_len);
+        w.u64(0);  // "checksum" — must never be reached
+        return w.take();
+    };
+    for (const uint64_t len :
+         {std::numeric_limits<uint64_t>::max(),
+          std::numeric_limits<uint64_t>::max() - wire::kEnvelopeBytes + 1,
+          std::numeric_limits<uint64_t>::max() / 2, uint64_t{1} << 40}) {
+        SCOPED_TRACE(len);
+        EXPECT_THROW(wire::detail::open_envelope(craft(len)), WireError);
+        EXPECT_THROW(serve::load_request(craft(len)), WireError);
+        EXPECT_THROW(wire::load_modulus(craft(len)), WireError);
+    }
+
+    // Same property for chunk frames: an oversized payload_len header
+    // field fails the bound, not an allocation.
+    wire::Writer w;
+    w.u32(wire::kChunkMagic);
+    w.u16(wire::kVersion);
+    w.u16(0);                         // flags: not last
+    w.u64(1);                         // stream id
+    w.u32(0);                         // seq
+    w.u32(std::numeric_limits<uint32_t>::max());  // payload_len
+    w.u64(0);                         // offset
+    w.u64(wire::kMaxStreamBytes);     // total_len
+    auto frame = w.take();
+    const uint64_t sum = wire::detail::fnv1a64(frame);
+    wire::Writer tail;
+    tail.u64(sum);
+    const auto tail_bytes = tail.take();
+    frame.insert(frame.end(), tail_bytes.begin(), tail_bytes.end());
+    EXPECT_THROW(wire::open_chunk(frame), WireError);
 }
 
 TEST(WireFuzz, TypeConfusionRejected) {
