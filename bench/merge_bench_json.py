@@ -11,12 +11,44 @@ With --require, a missing or entry-less input is a hard error: the gated
 merge (the file compare_baseline.py diffs against the baseline) must fail
 loudly when a gated bench was deleted or failed to write its JSON, instead
 of silently dropping that bench's metrics from the gate.
+
+Inputs may also be obs::Registry snapshots (marked "obs_registry": 1, as
+written by `fig_serving_latency --metrics` or Registry::write_json).
+Their counters/gauges flatten to one benchmark entry each under the
+`obs/` prefix, histograms to count/p50/p95/p99 entries, so registry
+metrics ride the same artifact (and can be baseline-gated) without a
+second pipeline.
 """
 
 import argparse
 import json
 import os
 import sys
+
+
+def registry_to_entries(data):
+    """Flatten an obs::Registry snapshot into benchmark-layout entries."""
+    entries = []
+    for metric in data.get("metrics", []):
+        name = f"obs/{metric['name']}"
+        kind = metric.get("type", "counter")
+        if kind == "histogram":
+            unit = "ns" if metric["name"].endswith("_ns") else "value"
+            entries.append({"name": f"{name}/count", "run_type": "iteration",
+                            "real_time": metric.get("count", 0),
+                            "time_unit": "count"})
+            for q in ("p50", "p95", "p99"):
+                if q in metric:
+                    entries.append({"name": f"{name}/{q}",
+                                    "run_type": "iteration",
+                                    "real_time": metric[q],
+                                    "time_unit": unit})
+        else:
+            entries.append({"name": name, "run_type": "iteration",
+                            "real_time": metric.get("value", 0),
+                            "time_unit": "count" if kind == "counter"
+                            else "value"})
+    return entries
 
 
 def main():
@@ -38,7 +70,10 @@ def main():
             continue
         with open(path) as f:
             data = json.load(f)
-        entries = data.get("benchmarks", [])
+        if data.get("obs_registry") == 1:
+            entries = registry_to_entries(data)
+        else:
+            entries = data.get("benchmarks", [])
         if args.require and not entries:
             print(f"error: required input {path} has no benchmark entries",
                   file=sys.stderr)

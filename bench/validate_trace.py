@@ -1,0 +1,106 @@
+#!/usr/bin/env python3
+"""Structurally validate an exported Chrome trace-event JSON file.
+
+Usage: validate_trace.py TRACE.json [--min-spans N]
+
+Mirrors obs::check_chrome_trace in Python so CI validates the artifact
+it uploads with an independent implementation (a bug in the C++ writer
+and the C++ checker cancelling out would slip through a self-check):
+
+  * the document parses and has a traceEvents array with "X" events
+  * every X event carries name/pid/tid/ts/dur and args.span/args.parent
+  * durations are non-negative and span ids unique
+  * no parent link dangles
+  * a child sits inside its parent's window when both share a clock (pid)
+  * every serve.request span has positive duration, carries a request
+    ordinal, and its serve.lane children lie within [dispatch, complete]
+    by construction of the containment check above
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(msg):
+    print(f"error: {msg}", file=sys.stderr)
+    return 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace")
+    parser.add_argument("--min-spans", type=int, default=1,
+                        help="require at least this many X events")
+    args = parser.parse_args()
+
+    try:
+        with open(args.trace) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return fail(f"cannot parse {args.trace}: {e}")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return fail("missing traceEvents array")
+
+    spans = {}
+    requests = 0
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        name = ev.get("name")
+        args_obj = ev.get("args")
+        if not isinstance(name, str) or not isinstance(args_obj, dict):
+            return fail("X event without name/args")
+        for field in ("pid", "tid", "ts", "dur"):
+            if not isinstance(ev.get(field), (int, float)):
+                return fail(f"X event '{name}' missing {field}")
+        if ev["dur"] < 0:
+            return fail(f"X event '{name}' has negative duration")
+        span_id = args_obj.get("span")
+        parent = args_obj.get("parent")
+        if not isinstance(span_id, int) or not isinstance(parent, int):
+            return fail(f"X event '{name}' missing args.span/args.parent")
+        if span_id == 0:
+            return fail(f"X event '{name}' has span id 0")
+        if span_id in spans:
+            return fail(f"duplicate span id {span_id}")
+        spans[span_id] = ev
+        if name == "serve.request":
+            requests += 1
+            if ev["dur"] <= 0:
+                return fail(f"serve.request span {span_id} has "
+                            "no [enqueue, complete] window")
+            if args_obj.get("request", 0) == 0:
+                return fail(f"serve.request span {span_id} carries "
+                            "no request ordinal")
+
+    if len(spans) < args.min_spans:
+        return fail(f"only {len(spans)} spans "
+                    f"(--min-spans {args.min_spans})")
+
+    for span_id, ev in spans.items():
+        parent_id = ev["args"]["parent"]
+        if parent_id == 0:
+            continue
+        parent = spans.get(parent_id)
+        if parent is None:
+            return fail(f"span '{ev['name']}' ({span_id}) has orphan "
+                        f"parent {parent_id}")
+        if parent["pid"] != ev["pid"]:
+            continue  # clock domains share no origin
+        # Tolerance covers the 3-decimal microsecond rounding.
+        eps = 2e-3 + 1e-9 * (parent["ts"] + parent["dur"])
+        if (ev["ts"] < parent["ts"] - eps or
+                ev["ts"] + ev["dur"] > parent["ts"] + parent["dur"] + eps):
+            return fail(f"span '{ev['name']}' ({span_id}) escapes parent "
+                        f"'{parent['name']}' window")
+
+    print(f"ok: {len(spans)} spans, {requests} serve.request roots, "
+          "tree connected and windows consistent")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

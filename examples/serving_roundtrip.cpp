@@ -8,14 +8,31 @@
 // with serialized responses; the client decrypts the results and checks
 // them against the plaintext computation.  Every arrow of Fig. 1's
 // client/server flow crosses a real (validated, checksummed) wire buffer.
+//
+// `--trace <path>` additionally records the served requests with the obs
+// tracing subsystem and writes a Chrome trace-event JSON file — load it
+// at ui.perfetto.dev to see each request's span tree from wire parse to
+// kernel launches.  The file is re-parsed and structurally validated
+// before the example reports success.
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <vector>
 
 #include "ckks/encoder.h"
+#include "obs/trace.h"
+#include "obs/trace_export.h"
 #include "serve/server.h"
 
-int main() {
+int main(int argc, char **argv) {
     using namespace xehe;
+
+    std::string trace_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--trace") == 0 && i + 1 < argc) {
+            trace_path = argv[++i];
+        }
+    }
 
     // --- client: scheme setup and key material -------------------------
     const ckks::EncryptionParameters params =
@@ -76,6 +93,16 @@ int main() {
 
     // --- server: everything reconstructed from bytes --------------------
     const ckks::CkksContext server_ctx(wire::load_parameters(params_bytes));
+    if (!trace_path.empty()) {
+        obs::TraceRecorder::instance().enable();
+        if (!obs::tracing_enabled()) {
+            // XEHE_OBS=OFF compiles the recorder out; an empty export
+            // would just fail its own validation below.
+            std::printf("tracing compiled out (XEHE_OBS=OFF), "
+                        "skipping --trace\n");
+            trace_path.clear();
+        }
+    }
     serve::InferenceServer server(server_ctx, xgpu::device1(),
                                   core::GpuOptions{});
     server.set_keys(wire::load_relin_keys(relin_bytes, server_ctx),
@@ -125,5 +152,28 @@ int main() {
                 "p99 latency %.3f ms, %.1f req/s\n",
                 stats.requests, stats.batches, stats.p99_ms,
                 stats.throughput_rps);
+
+    if (!trace_path.empty()) {
+        // Self-check before writing: the exported bytes must parse and
+        // pass the structural span-tree validation.
+        const std::string trace = obs::chrome_trace_to_string();
+        const std::string err = obs::check_chrome_trace(trace);
+        if (!err.empty()) {
+            std::printf("trace export FAILED validation: %s\n", err.c_str());
+            ++failures;
+        } else {
+            std::ofstream out(trace_path);
+            out << trace;
+            if (!out.good()) {
+                std::printf("cannot write %s\n", trace_path.c_str());
+                ++failures;
+            } else {
+                std::printf("wrote %zu spans to %s "
+                            "(load at ui.perfetto.dev)\n",
+                            obs::TraceRecorder::instance().size(),
+                            trace_path.c_str());
+            }
+        }
+    }
     return failures == 0 && stats.requests == 2 ? 0 : 1;
 }

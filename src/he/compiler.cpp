@@ -6,6 +6,8 @@
 #include <map>
 #include <string>
 
+#include "obs/trace.h"
+
 namespace xehe::he {
 
 namespace {
@@ -546,6 +548,7 @@ ProgramCompiler::ProgramCompiler(const ckks::CkksContext &context,
     : context_(&context), options_(options) {}
 
 CompiledProgram ProgramCompiler::compile(const Program &program) const {
+    obs::Span compile_span("compile.program", obs::Category::Compile);
     program.validate();
     CompiledProgram result;
     result.before = program.stats();
@@ -553,6 +556,7 @@ CompiledProgram ProgramCompiler::compile(const Program &program) const {
     Program p = program;
     p.fusion_groups.clear();
     if (options_.canonicalize) {
+        obs::Span pass_span("compile.canonicalize", obs::Category::Compile);
         std::vector<Meta> meta;
         if (context_ != nullptr) {
             const std::size_t input_level =
@@ -570,12 +574,15 @@ CompiledProgram ProgramCompiler::compile(const Program &program) const {
         canonicalize_pass(p, meta, result.report);
     }
     if (options_.cse) {
+        obs::Span pass_span("compile.cse", obs::Category::Compile);
         p = cse_pass(p, result.report);
     }
     if (options_.dce) {
+        obs::Span pass_span("compile.dce", obs::Category::Compile);
         p = dce_pass(p, result.report);
     }
     if (options_.plan && context_ != nullptr) {
+        obs::Span pass_span("compile.plan", obs::Category::Compile);
         p = Planner(p, *context_, options_, result.report).run();
         if (options_.cse) {
             // Re-derived alignment chains duplicate when one value
@@ -584,11 +591,17 @@ CompiledProgram ProgramCompiler::compile(const Program &program) const {
         }
     }
     if (options_.prefuse) {
+        obs::Span pass_span("compile.prefuse", obs::Category::Compile);
         prefuse_pass(p, result.report);
     }
     p.validate();
     result.after = p.stats();
     result.program = std::move(p);
+    if (compile_span.active()) {
+        compile_span.set_detail(
+            std::to_string(result.before.nodes) + " -> " +
+            std::to_string(result.after.nodes) + " nodes");
+    }
     return result;
 }
 

@@ -1,0 +1,178 @@
+// obs::Registry — typed process metrics with machine-readable export.
+//
+// Counters (monotone), gauges (last value) and log-linear latency
+// histograms live in one named registry; the serving layers update them
+// inline (relaxed atomics — safe from the sharded drain threads) and CI /
+// dashboards read one JSON or Prometheus-text snapshot instead of
+// scraping bench stdout.  serve::LatencyStats keeps its exact
+// nearest-rank percentiles (obs::percentile below is the shared
+// implementation); the registry's histogram is the bounded-memory export
+// surface for the same latencies.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace xehe::obs {
+
+/// Exact nearest-rank percentile over an ascending-sorted sample: the
+/// smallest element with at least a fraction `q` of the mass at or below
+/// it.  Returns 0 for an empty sample; q is clamped to [0, 1].
+double percentile(std::span<const double> sorted, double q) noexcept;
+
+/// Monotone counter.
+class Counter {
+public:
+    void add(uint64_t n = 1) noexcept {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    uint64_t value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge (doubles; set/add from any thread).
+class Gauge {
+public:
+    void set(double v) noexcept {
+        value_.store(v, std::memory_order_relaxed);
+    }
+    void add(double delta) noexcept {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + delta,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+    double value() const noexcept {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+struct HistogramOptions {
+    /// Lower edge of the first finite bucket; values below land in the
+    /// underflow bucket.  Must be positive.
+    double min_value = 1.0;
+    /// Powers of two covered above min_value; values at or beyond
+    /// min_value * 2^octaves land in the overflow bucket.
+    std::size_t octaves = 40;
+    /// Linear subdivisions per octave.  Bucket width ratio is
+    /// 2^(1/sub_buckets): 8 keeps quantile error under ~9%.
+    std::size_t sub_buckets = 8;
+};
+
+/// Log-linear histogram: fixed storage, O(1) lock-free observe, bounded
+/// relative quantile error.  Bucket i covers (upper_bound(i-1),
+/// upper_bound(i)]; bucket 0 is the underflow bucket (v <= min_value) and
+/// the last bucket is the overflow bucket.
+class Histogram {
+public:
+    explicit Histogram(HistogramOptions options = {});
+
+    void observe(double value) noexcept;
+
+    uint64_t count() const noexcept {
+        return count_.load(std::memory_order_relaxed);
+    }
+    double sum() const noexcept {
+        return sum_.load(std::memory_order_relaxed);
+    }
+
+    std::size_t bucket_count() const noexcept { return counts_.size(); }
+    uint64_t bucket_value(std::size_t i) const noexcept {
+        return counts_[i].load(std::memory_order_relaxed);
+    }
+    /// Inclusive upper bound of bucket i; +inf for the overflow bucket.
+    double upper_bound(std::size_t i) const noexcept;
+    /// Bucket index a value lands in (exposed for the boundary tests).
+    std::size_t bucket_index(double value) const noexcept;
+
+    /// Nearest-rank quantile, reported as the containing bucket's upper
+    /// bound (the largest finite bound for the overflow bucket) — an
+    /// overestimate by at most one bucket width ratio.
+    double percentile(double q) const noexcept;
+
+    void reset() noexcept;
+
+    const HistogramOptions &options() const noexcept { return options_; }
+
+private:
+    HistogramOptions options_;
+    double inv_min_ = 1.0;
+    std::vector<std::atomic<uint64_t>> counts_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+};
+
+/// One metric in a Registry::snapshot().
+struct MetricSnapshot {
+    enum class Kind : uint8_t { Counter, Gauge, Histogram };
+
+    std::string name;
+    Kind kind = Kind::Counter;
+    double value = 0.0;  ///< counter / gauge value
+    // Histogram-only fields.
+    uint64_t count = 0;
+    double sum = 0.0;
+    double p50 = 0.0;
+    double p95 = 0.0;
+    double p99 = 0.0;
+    /// (inclusive upper bound, count in bucket) for every non-empty
+    /// bucket; the overflow bucket reports an infinite bound.
+    std::vector<std::pair<double, uint64_t>> buckets;
+};
+
+/// Named metric registry.  Accessors return references that stay valid
+/// for the registry's lifetime (hot paths cache them); registration takes
+/// a mutex, updates are atomic.
+class Registry {
+public:
+    /// The process-wide registry the serving layers publish into.
+    static Registry &global();
+
+    Registry();   // out-of-line: Entry is incomplete here
+    ~Registry();
+    Registry(const Registry &) = delete;
+    Registry &operator=(const Registry &) = delete;
+
+    Counter &counter(const std::string &name);
+    Gauge &gauge(const std::string &name);
+    /// `options` applies only when this call creates the histogram.
+    Histogram &histogram(const std::string &name,
+                         HistogramOptions options = {});
+
+    /// Point-in-time copy of every metric, sorted by name.
+    std::vector<MetricSnapshot> snapshot() const;
+
+    /// {"obs_registry": 1, "metrics": [...]} — the format
+    /// merge_bench_json.py folds into bench artifacts so CI can gate on
+    /// counter values.
+    void write_json(std::ostream &out) const;
+    /// Prometheus text exposition (names sanitized, `xehe_` prefix).
+    void write_prometheus(std::ostream &out) const;
+
+    /// Zeroes every metric (objects and references stay valid — tests
+    /// reset between scenarios without invalidating cached pointers).
+    void reset();
+
+private:
+    struct Entry;
+
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Entry>> entries_;
+};
+
+}  // namespace xehe::obs

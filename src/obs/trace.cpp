@@ -1,0 +1,278 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <unordered_set>
+#include <utility>
+
+namespace xehe::obs {
+
+const char *category_name(Category c) {
+    switch (c) {
+        case Category::Serve: return "serve";
+        case Category::Keys: return "keys";
+        case Category::Compile: return "compile";
+        case Category::Schedule: return "schedule";
+        case Category::Kernel: return "kernel";
+        case Category::Wire: return "wire";
+        case Category::Other: return "other";
+    }
+    return "other";
+}
+
+#if !defined(XEHE_OBS_DISABLED)
+namespace detail {
+std::atomic<bool> g_tracing_enabled{false};
+}
+#endif
+
+namespace {
+
+double steady_now_ns() noexcept {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+}
+
+/// Per-thread context stack.  A fixed depth bounds the cost and is far
+/// beyond any real nesting (request -> lane -> compile -> pass is 4).
+constexpr std::size_t kMaxContextDepth = 32;
+thread_local TraceContext t_context_stack[kMaxContextDepth];
+thread_local std::size_t t_context_depth = 0;
+
+std::atomic<uint32_t> g_next_track{1};
+std::atomic<uint64_t> g_next_request{1};
+
+}  // namespace
+
+TraceContext current_context() noexcept {
+    return t_context_depth > 0 ? t_context_stack[t_context_depth - 1]
+                               : TraceContext{};
+}
+
+uint32_t next_track() noexcept {
+    return g_next_track.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t next_request_id() noexcept {
+    return g_next_request.fetch_add(1, std::memory_order_relaxed);
+}
+
+TraceRecorder &TraceRecorder::instance() {
+    static TraceRecorder recorder;
+    return recorder;
+}
+
+void TraceRecorder::enable(std::size_t capacity) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (capacity == 0) {
+        capacity = 1;
+    }
+    ring_.clear();
+    ring_.resize(capacity);
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+    epoch_ns_ = steady_now_ns();
+#if !defined(XEHE_OBS_DISABLED)
+    detail::g_tracing_enabled.store(true, std::memory_order_relaxed);
+#endif
+}
+
+void TraceRecorder::disable() {
+#if !defined(XEHE_OBS_DISABLED)
+    detail::g_tracing_enabled.store(false, std::memory_order_relaxed);
+#endif
+}
+
+void TraceRecorder::clear() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    head_ = 0;
+    count_ = 0;
+    dropped_ = 0;
+}
+
+std::size_t TraceRecorder::size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return count_;
+}
+
+std::size_t TraceRecorder::capacity() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return ring_.size();
+}
+
+std::size_t TraceRecorder::dropped() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return dropped_;
+}
+
+uint64_t TraceRecorder::next_id() noexcept {
+    return next_id_.fetch_add(1, std::memory_order_relaxed);
+}
+
+double TraceRecorder::host_now_ns() const noexcept {
+    return steady_now_ns() - epoch_ns_;
+}
+
+void TraceRecorder::record(SpanRecord rec) {
+    if (!tracing_enabled()) {
+        return;
+    }
+    if (rec.id == 0) {
+        rec.id = next_id();
+    }
+    const TraceContext ctx = current_context();
+    if (rec.parent == 0) {
+        rec.parent = ctx.span;
+    }
+    if (rec.parent == rec.id) {
+        rec.parent = 0;  // own scope still active: never self-parent
+    }
+    if (rec.request == 0) {
+        rec.request = ctx.request;
+    }
+    if (rec.session == 0) {
+        rec.session = ctx.session;
+    }
+    if (rec.shard < 0) {
+        rec.shard = ctx.shard;
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ring_.empty()) {
+        return;  // enabled() raced disable()+shrink; drop quietly
+    }
+    if (count_ == ring_.size()) {
+        ++dropped_;
+    } else {
+        ++count_;
+    }
+    ring_[head_] = std::move(rec);
+    head_ = (head_ + 1) % ring_.size();
+}
+
+std::vector<SpanRecord> TraceRecorder::snapshot() const {
+    std::vector<SpanRecord> out;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        out.reserve(count_);
+        const std::size_t start =
+            (head_ + ring_.size() - count_) % (ring_.empty() ? 1 : ring_.size());
+        for (std::size_t i = 0; i < count_; ++i) {
+            out.push_back(ring_[(start + i) % ring_.size()]);
+        }
+    }
+    // Close the set under parent links: a parent that wrapped out of the
+    // ring would otherwise dangle, and the export promises no orphans.
+    std::unordered_set<uint64_t> ids;
+    ids.reserve(out.size());
+    for (const SpanRecord &rec : out) {
+        ids.insert(rec.id);
+    }
+    for (SpanRecord &rec : out) {
+        if (rec.parent != 0 && ids.count(rec.parent) == 0) {
+            rec.parent = 0;
+        }
+    }
+    return out;
+}
+
+namespace {
+
+bool push_context(const TraceContext &ctx) noexcept {
+    if (t_context_depth >= kMaxContextDepth) {
+        return false;
+    }
+    t_context_stack[t_context_depth++] = ctx;
+    return true;
+}
+
+void pop_context() noexcept {
+    if (t_context_depth > 0) {
+        --t_context_depth;
+    }
+}
+
+}  // namespace
+
+ContextScope::ContextScope(uint64_t span, uint64_t request, uint64_t session,
+                           int32_t shard) {
+    if (!tracing_enabled()) {
+        return;
+    }
+    TraceContext ctx = current_context();
+    if (span != 0) {
+        ctx.span = span;
+    }
+    if (request != 0) {
+        ctx.request = request;
+    }
+    if (session != 0) {
+        ctx.session = session;
+    }
+    if (shard >= 0) {
+        ctx.shard = shard;
+    }
+    pushed_ = push_context(ctx);
+}
+
+ContextScope::~ContextScope() {
+    if (pushed_) {
+        pop_context();
+    }
+}
+
+Span::Span(const char *name, Category category)
+    : name_(name), category_(category) {
+    if (!tracing_enabled()) {
+        return;
+    }
+    TraceRecorder &rec = TraceRecorder::instance();
+    id_ = rec.next_id();
+    start_ns_ = rec.host_now_ns();
+    TraceContext ctx = current_context();
+    ctx.span = id_;
+    if (!push_context(ctx)) {
+        id_ = 0;  // too deep: record nothing rather than mis-parent
+    }
+}
+
+Span::~Span() {
+    if (id_ == 0) {
+        return;
+    }
+    pop_context();
+    TraceRecorder &rec = TraceRecorder::instance();
+    SpanRecord record;
+    record.id = id_;
+    record.clock = Clock::Host;
+    record.category = category_;
+    record.name = name_;
+    record.detail = std::move(detail_);
+    record.start_ns = start_ns_;
+    record.end_ns = rec.host_now_ns();
+    rec.record(std::move(record));
+}
+
+uint64_t record_sim_span(const char *name, Category category, double start_ns,
+                         double end_ns, uint32_t track, std::string detail,
+                         uint64_t id) {
+    if (!tracing_enabled()) {
+        return 0;
+    }
+    TraceRecorder &rec = TraceRecorder::instance();
+    SpanRecord record;
+    record.id = id != 0 ? id : rec.next_id();
+    record.clock = Clock::Sim;
+    record.category = category;
+    record.name = name;
+    record.detail = std::move(detail);
+    record.start_ns = start_ns;
+    record.end_ns = end_ns;
+    record.track = track;
+    const uint64_t out = record.id;
+    rec.record(std::move(record));
+    return out;
+}
+
+}  // namespace xehe::obs

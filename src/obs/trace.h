@@ -1,0 +1,206 @@
+// obs::TraceRecorder — low-overhead end-to-end request tracing.
+//
+// The serving stack is profiling-driven (the paper's Fig. 5 methodology),
+// but aggregate profilers cannot show *one request's* journey through
+// admission -> batching window -> shard -> key cache -> compiler ->
+// scheduler lane -> fused kernel launches.  This recorder holds a bounded
+// ring of completed spans (name, category, start/end, request/session/
+// shard ids, parent link) that every layer appends to; the export side
+// (trace_export.cpp) writes Chrome trace-event JSON that Perfetto loads
+// directly.
+//
+// Two clock domains coexist: Clock::Sim spans carry simulated-device
+// nanoseconds (queue clocks, serving enqueue/dispatch/complete), Clock::Host
+// spans carry wall-clock nanoseconds (compiler passes, wire parsing, key
+// re-expansion).  The export keeps them on separate Perfetto "processes";
+// parent links cross domains freely, so the request tree stays connected.
+//
+// Parenting is implicit: a thread-local context stack names the current
+// parent span plus the request/session/shard identity, so deep layers
+// (Queue::submit, KeyManager::acquire) link their spans to the serving
+// request without ever seeing a serve:: type.  Each shard drains on its
+// own host thread, so per-thread context is exactly per-request context.
+//
+// Cost when off: recording sites guard on tracing_enabled() — one relaxed
+// atomic load and a branch (XEHE_OBS=OFF compiles even that to constant
+// false).  When on, a record is one mutex acquisition and one slot write;
+// the ring never allocates after enable().
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace xehe::obs {
+
+/// Span taxonomy, one value per instrumented layer (see the README span
+/// table).  The Chrome export uses these as event categories.
+enum class Category : uint8_t {
+    Serve,     ///< request lifetime, batches, shard drains
+    Keys,      ///< key-cache acquire / re-expand / evict
+    Compile,   ///< ProgramCompiler pipeline and passes
+    Schedule,  ///< lane dispatch windows, scheduler joins
+    Kernel,    ///< physical kernel submissions and transfers
+    Wire,      ///< envelope / chunk-frame parsing
+    Other,
+};
+
+const char *category_name(Category c);
+
+/// Which timeline a span's timestamps live on.
+enum class Clock : uint8_t {
+    Sim,   ///< simulated-device ns (queue clocks, serving timestamps)
+    Host,  ///< wall-clock ns since the recorder was enabled
+};
+
+/// One completed span.  `parent` == 0 means a root span.
+struct SpanRecord {
+    uint64_t id = 0;
+    uint64_t parent = 0;
+    uint64_t request = 0;  ///< serving request ordinal (0 = none)
+    uint64_t session = 0;
+    int32_t shard = -1;
+    uint32_t track = 0;  ///< Perfetto tid: queue / lane / server track
+    Category category = Category::Other;
+    Clock clock = Clock::Host;
+    double start_ns = 0.0;
+    double end_ns = 0.0;
+    std::string name;
+    std::string detail;  ///< free-form annotation (constituents, status…)
+};
+
+#if defined(XEHE_OBS_DISABLED)
+constexpr bool tracing_enabled() noexcept { return false; }
+#else
+namespace detail {
+extern std::atomic<bool> g_tracing_enabled;
+}
+/// The one branch every hot path pays while tracing is off.
+inline bool tracing_enabled() noexcept {
+    return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+#endif
+
+/// Identity the current thread attaches to every span it records.
+struct TraceContext {
+    uint64_t span = 0;  ///< parent for new spans (0 = root)
+    uint64_t request = 0;
+    uint64_t session = 0;
+    int32_t shard = -1;
+};
+
+TraceContext current_context() noexcept;
+
+/// Bounded ring of completed spans.  All members are thread-safe; record()
+/// under a mutex is deliberate — span recording sits next to simulated
+/// kernel work and real serialization, where a short critical section is
+/// noise, and it keeps the TSan lane trivially clean.
+class TraceRecorder {
+public:
+    static TraceRecorder &instance();
+
+    /// Turns tracing on with a ring of `capacity` spans (storage is
+    /// reserved up front; old spans are discarded).  Also resets the
+    /// wall-clock epoch Clock::Host spans are measured from.
+    void enable(std::size_t capacity = std::size_t{1} << 16);
+    void disable();
+    bool enabled() const noexcept { return tracing_enabled(); }
+
+    /// Drops recorded spans (capacity and enablement survive).
+    void clear();
+
+    /// Completed spans, oldest first.  Parents that wrapped out of the
+    /// ring are rewritten to 0, so the returned set is always closed
+    /// under parent links.
+    std::vector<SpanRecord> snapshot() const;
+
+    std::size_t size() const;
+    std::size_t capacity() const;
+    /// Spans discarded because the ring wrapped.
+    std::size_t dropped() const;
+
+    /// Reserves a span id without recording (so a parent id can be handed
+    /// to children before the parent's end time is known).
+    uint64_t next_id() noexcept;
+
+    /// Appends `rec` (id auto-assigned when 0; parent/request/session/
+    /// shard auto-filled from the calling thread's context when left at
+    /// their defaults).  No-op while disabled.
+    void record(SpanRecord rec);
+
+    /// Wall-clock ns since enable() — the Clock::Host timeline.
+    double host_now_ns() const noexcept;
+
+private:
+    TraceRecorder() = default;
+
+    mutable std::mutex mutex_;
+    std::vector<SpanRecord> ring_;
+    std::size_t head_ = 0;  ///< next write position
+    std::size_t count_ = 0;
+    std::size_t dropped_ = 0;
+    std::atomic<uint64_t> next_id_{1};
+    double epoch_ns_ = 0.0;  ///< steady_clock origin of Clock::Host
+};
+
+/// Pushes a (parent span, request, session, shard) context for the
+/// current thread; pops on destruction.  Fields left at their defaults
+/// inherit the surrounding context.
+class ContextScope {
+public:
+    explicit ContextScope(uint64_t span, uint64_t request = 0,
+                          uint64_t session = 0, int32_t shard = -1);
+    ~ContextScope();
+
+    ContextScope(const ContextScope &) = delete;
+    ContextScope &operator=(const ContextScope &) = delete;
+
+private:
+    bool pushed_ = false;
+};
+
+/// RAII wall-clock span: starts on construction, records on destruction,
+/// and is the parent of anything recorded inside it.  Costs one branch
+/// when tracing is off.
+class Span {
+public:
+    Span(const char *name, Category category);
+    ~Span();
+
+    Span(const Span &) = delete;
+    Span &operator=(const Span &) = delete;
+
+    /// Span id (0 while tracing is off).
+    uint64_t id() const noexcept { return id_; }
+    bool active() const noexcept { return id_ != 0; }
+
+    /// Attaches a free-form annotation exported as args.detail.
+    void set_detail(std::string detail) { detail_ = std::move(detail); }
+
+private:
+    const char *name_ = nullptr;
+    Category category_ = Category::Other;
+    uint64_t id_ = 0;
+    double start_ns_ = 0.0;
+    std::string detail_;
+};
+
+/// Records a completed simulated-clock span ([start_ns, end_ns] on the
+/// device timeline).  `id` == 0 allocates one; pass a reserved id to link
+/// children recorded before the parent.  Returns the span id (0 while
+/// tracing is off).
+uint64_t record_sim_span(const char *name, Category category,
+                         double start_ns, double end_ns, uint32_t track = 0,
+                         std::string detail = {}, uint64_t id = 0);
+
+/// Allocates a globally unique Perfetto track (tid) — queues and serving
+/// lanes each take one so their spans land on separate rows.
+uint32_t next_track() noexcept;
+
+/// Monotone serving-request ordinal (process-wide, so ids stay unique
+/// across shards); attached to spans as args.request.
+uint64_t next_request_id() noexcept;
+
+}  // namespace xehe::obs

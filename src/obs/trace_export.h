@@ -1,0 +1,45 @@
+// Chrome trace-event export for obs::TraceRecorder.
+//
+// write_chrome_trace emits the {"traceEvents": [...]} JSON that
+// chrome://tracing and Perfetto (ui.perfetto.dev) load directly.  Each
+// span becomes one "X" (complete) event; simulated-clock spans live on
+// pid 1 ("simulated device") and wall-clock spans on pid 2 ("host"),
+// because the two timelines share no origin.  The span tree the format
+// cannot express natively rides in args: every event carries
+// {span, parent, request, session, shard} so tools (and
+// check_chrome_trace / bench/validate_trace.py) can walk parent links
+// across clock domains.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace xehe::obs {
+
+struct SpanRecord;
+
+/// Writes the given spans as Chrome trace-event JSON.
+void write_chrome_trace(std::ostream &out,
+                        const std::vector<SpanRecord> &spans);
+
+/// Snapshot of the global recorder, as Chrome trace-event JSON.
+void write_chrome_trace(std::ostream &out);
+
+/// Snapshot of the global recorder to `path`; false when the file cannot
+/// be opened.
+bool write_chrome_trace(const std::string &path);
+
+/// Snapshot of the global recorder as a JSON string (handy for tests and
+/// the roundtrip example's self-check).
+std::string chrome_trace_to_string();
+
+/// Structural validation of exported trace JSON: parses it, then checks
+/// traceEvents exists, every "X" event has name/pid/tid/ts/dur and
+/// args.span/args.parent, durations are non-negative, span ids are
+/// unique, no parent link dangles, and every child is contained in its
+/// parent's window when both live on the same clock (pid).  Returns an
+/// empty string on success, else a description of the first problem.
+std::string check_chrome_trace(const std::string &json_text);
+
+}  // namespace xehe::obs

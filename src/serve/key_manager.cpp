@@ -4,9 +4,35 @@
 #include <chrono>
 #include <limits>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace xehe::serve {
 
 namespace {
+
+/// Registry handles cached once: acquire() sits on the per-request path
+/// and must not pay a name lookup per call.
+struct KeyMetrics {
+    obs::Counter &hits;
+    obs::Counter &misses;
+    obs::Counter &evictions;
+    obs::Gauge &resident_bytes;
+    obs::Gauge &peak_resident_bytes;
+    obs::Histogram &reexpand_ns;
+
+    static KeyMetrics &instance() {
+        static KeyMetrics m{
+            obs::Registry::global().counter("serve.keys.hits"),
+            obs::Registry::global().counter("serve.keys.misses"),
+            obs::Registry::global().counter("serve.keys.evictions"),
+            obs::Registry::global().gauge("serve.keys.resident_bytes"),
+            obs::Registry::global().gauge("serve.keys.peak_resident_bytes"),
+            obs::Registry::global().histogram("serve.keys.reexpand_ns"),
+        };
+        return m;
+    }
+};
 
 std::size_t kswitch_bytes(const ckks::KSwitchKey &key) {
     std::size_t words = 0;
@@ -79,10 +105,12 @@ void KeyManager::make_room(std::size_t needed, uint64_t keep) {
         resident_bytes_ -= e.expanded_bytes;
         e.expanded.reset();  // cold store (wire bytes) stays
         ++stats_.evictions;
+        KeyMetrics::instance().evictions.add();
     }
 }
 
 KeyManager::Acquired KeyManager::acquire(uint64_t session_id) {
+    obs::Span span("keys.acquire", obs::Category::Keys);
     std::unique_lock<std::mutex> lock(mutex_);
     auto it = entries_.find(session_id);
     util::require(it != entries_.end(), "session keys not registered");
@@ -92,6 +120,10 @@ KeyManager::Acquired KeyManager::acquire(uint64_t session_id) {
     Acquired out;
     if (entry.expanded) {
         ++stats_.hits;
+        KeyMetrics::instance().hits.add();
+        if (span.active()) {
+            span.set_detail("hit");
+        }
         out.keys = entry.expanded;
         out.expanded_bytes = entry.expanded_bytes;
         return out;
@@ -103,13 +135,23 @@ KeyManager::Acquired KeyManager::acquire(uint64_t session_id) {
     // deterministic LRU accounting; re-expansion time is measured and
     // surfaced so the cost is visible, not hidden.
     const auto t0 = std::chrono::steady_clock::now();
-    auto keys = std::make_shared<SessionKeys>();
-    keys->relin = wire::load_relin_keys(entry.relin_wire, *context_);
-    keys->galois = wire::load_galois_keys(entry.galois_wire, *context_);
+    std::shared_ptr<SessionKeys> keys;
+    {
+        obs::Span expand_span("keys.reexpand", obs::Category::Keys);
+        keys = std::make_shared<SessionKeys>();
+        keys->relin = wire::load_relin_keys(entry.relin_wire, *context_);
+        keys->galois = wire::load_galois_keys(entry.galois_wire, *context_);
+    }
     const auto t1 = std::chrono::steady_clock::now();
     stats_.reexpand_ms +=
         std::chrono::duration<double, std::milli>(t1 - t0).count();
     ++stats_.misses;
+    KeyMetrics::instance().misses.add();
+    KeyMetrics::instance().reexpand_ns.observe(
+        std::chrono::duration<double, std::nano>(t1 - t0).count());
+    if (span.active()) {
+        span.set_detail("miss");
+    }
 
     entry.expanded_bytes = expanded_key_bytes(keys->relin, keys->galois);
     out.miss = true;
@@ -125,6 +167,10 @@ KeyManager::Acquired KeyManager::acquire(uint64_t session_id) {
                 std::max(stats_.peak_resident_bytes, resident_bytes_);
         }
     }
+    KeyMetrics::instance().resident_bytes.set(
+        static_cast<double>(resident_bytes_));
+    KeyMetrics::instance().peak_resident_bytes.set(
+        static_cast<double>(stats_.peak_resident_bytes));
     // An oversize keyset (> whole budget) is served transiently and never
     // cached, so resident_bytes_ <= budget_bytes_ holds at every instant.
     return out;

@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "he/compiler.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace xehe::serve {
 
@@ -45,17 +47,35 @@ core::GpuCiphertext fabricate(core::GpuContext &gpu, std::size_t size,
     return ct;
 }
 
-double percentile(const std::vector<double> &sorted_ns, double q) {
-    if (sorted_ns.empty()) {
-        return 0.0;
+/// Registry handles cached once — the admission and dispatch paths must
+/// not pay a registry name lookup per request.
+struct ServeMetrics {
+    obs::Counter &requests;
+    obs::Counter &failed;
+    obs::Counter &overloaded;
+    obs::Counter &batches;
+    obs::Counter &fallbacks;
+    obs::Counter &host_requests;
+    obs::Counter &program_cache_hits;
+    obs::Counter &programs_compiled;
+    obs::Histogram &latency_ns;
+
+    static ServeMetrics &instance() {
+        auto &reg = obs::Registry::global();
+        static ServeMetrics m{
+            reg.counter("serve.requests"),
+            reg.counter("serve.failed"),
+            reg.counter("serve.overloaded"),
+            reg.counter("serve.batches"),
+            reg.counter("serve.fallbacks"),
+            reg.counter("serve.host_requests"),
+            reg.counter("serve.program_cache_hits"),
+            reg.counter("compile.programs"),
+            reg.histogram("serve.latency_ns"),
+        };
+        return m;
     }
-    // Nearest-rank: smallest value with at least q of the mass below it.
-    const double rank = std::ceil(q * static_cast<double>(sorted_ns.size()));
-    const std::size_t index =
-        std::min(sorted_ns.size() - 1,
-                 static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
-    return sorted_ns[index];
-}
+};
 
 }  // namespace
 
@@ -141,12 +161,18 @@ void InferenceServer::record_failure(uint64_t session_id, Status code,
     resp.error = std::move(error);
     parse_failures_.push_back(std::move(resp));
     ++failed_;
+    ServeMetrics::instance().failed.add();
     if (code == Status::Overloaded) {
         ++overloaded_;
+        ServeMetrics::instance().overloaded.add();
     }
 }
 
 void InferenceServer::submit(std::span<const uint8_t> request_bytes) {
+    obs::Span span("wire.parse", obs::Category::Wire);
+    if (span.active()) {
+        span.set_detail(std::to_string(request_bytes.size()) + " bytes");
+    }
     try {
         submit(load_request(request_bytes));
     } catch (const wire::WireError &e) {
@@ -159,6 +185,10 @@ void InferenceServer::submit(Request request) {
 }
 
 void InferenceServer::submit_chunk(std::span<const uint8_t> frame) {
+    obs::Span span("wire.chunk", obs::Category::Wire);
+    if (span.active()) {
+        span.set_detail(std::to_string(frame.size()) + " bytes");
+    }
     wire::ChunkView chunk;
     try {
         chunk = wire::open_chunk(frame);
@@ -268,6 +298,9 @@ std::vector<Response> InferenceServer::run() {
             const Response &resp = responses.back();
             if (resp.ok) {
                 latencies_ns_.push_back(resp.latency_ns());
+                ServeMetrics::instance().requests.add();
+                ServeMetrics::instance().latency_ns.observe(
+                    resp.latency_ns());
                 last_complete_ns_ =
                     std::max(last_complete_ns_, resp.complete_ns);
                 if (first_enqueue_ns_ < 0.0 ||
@@ -276,9 +309,19 @@ std::vector<Response> InferenceServer::run() {
                 }
             } else {
                 ++failed_;
+                ServeMetrics::instance().failed.add();
             }
         }
         ++batches_;
+        ServeMetrics::instance().batches.add();
+        if (obs::tracing_enabled()) {
+            // Batch spans sit beside (not above) their requests: a
+            // request's completion extends past the batch's dispatch, so
+            // parenting it under the batch would break containment.
+            obs::record_sim_span("serve.batch", obs::Category::Serve,
+                                 batch_open, dispatch_time, obs_serve_track(),
+                                 "n=" + std::to_string(j - i));
+        }
         admission_clock_ns_ = dispatch_time;
         i = j;
     }
@@ -301,8 +344,10 @@ std::shared_ptr<const he::Program> InferenceServer::compiled_program(
     key.append(reinterpret_cast<const char *>(bytes.data()), bytes.size());
     if (auto it = program_cache_.find(key); it != program_cache_.end()) {
         ++program_cache_hits_;
+        ServeMetrics::instance().program_cache_hits.add();
         return it->second;
     }
+    ServeMetrics::instance().programs_compiled.add();
 
     he::Program program = he::load_program(bytes, *host_);
     util::require(program.outputs.size() == 1,
@@ -337,6 +382,57 @@ std::size_t InferenceServer::route_cost(const Request &request) const {
 
 Response InferenceServer::execute(const Request &request,
                                   double dispatch_time) {
+    if (!obs::tracing_enabled()) {
+        return execute_routed(request, dispatch_time);
+    }
+    // Reserve the request span's id up front and make it the thread's
+    // context: everything recorded below — lane schedule, key acquire,
+    // compile passes, kernel launches — parents into this span, which is
+    // what connects the exported tree from front door to device.
+    const uint64_t ordinal = obs::next_request_id();
+    const uint64_t span_id = obs::TraceRecorder::instance().next_id();
+    Response resp;
+    {
+        obs::ContextScope scope(span_id, ordinal, request.session_id);
+        resp = execute_routed(request, dispatch_time);
+    }
+    // Recorded after its own scope popped, so the identity the children
+    // inherited must be attached explicitly here.
+    obs::SpanRecord span;
+    span.id = span_id;
+    span.request = ordinal;
+    span.session = request.session_id;
+    span.clock = obs::Clock::Sim;
+    span.category = obs::Category::Serve;
+    span.name = "serve.request";
+    span.detail = op_name(request.op);
+    span.detail += resp.ok ? " ok" : " failed";
+    span.start_ns = resp.enqueue_ns;
+    span.end_ns = resp.complete_ns;
+    span.track = obs_serve_track();
+    obs::TraceRecorder::instance().record(std::move(span));
+    return resp;
+}
+
+uint32_t InferenceServer::obs_serve_track() {
+    if (obs_serve_track_ == 0) {
+        obs_serve_track_ = obs::next_track();
+    }
+    return obs_serve_track_;
+}
+
+uint32_t InferenceServer::obs_host_lane_track(std::size_t lane) {
+    if (obs_host_lane_tracks_.size() < host_lane_ns_.size()) {
+        obs_host_lane_tracks_.resize(host_lane_ns_.size(), 0);
+    }
+    if (obs_host_lane_tracks_[lane] == 0) {
+        obs_host_lane_tracks_[lane] = obs::next_track();
+    }
+    return obs_host_lane_tracks_[lane];
+}
+
+Response InferenceServer::execute_routed(const Request &request,
+                                         double dispatch_time) {
     // Routing: an explicit hint wins; Auto takes the GPU pool when one
     // is up, except that cost routing (when configured) keeps small jobs
     // on host.  Any request that wanted the GPU but cannot have it runs
@@ -363,8 +459,10 @@ Response InferenceServer::execute(const Request &request,
         }
     }
     ++host_requests_;
+    ServeMetrics::instance().host_requests.add();
     if (fallback) {
         ++fallbacks_;
+        ServeMetrics::instance().fallbacks.add();
     }
     return execute_host(request, dispatch_time);
 }
@@ -394,6 +492,16 @@ Response InferenceServer::execute_gpu(const Request &request,
     // a busy lane pushes the start further (queueing delay).
     gpu.queue().advance_to(dispatch_time);
     resp.dispatch_ns = gpu.queue().clock_ns();
+
+    // Lane-schedule span: dispatch to completion on this lane's queue.
+    // Reserved up front and pushed as context so key acquires, compiles
+    // and kernel launches below parent into it; the outer context (the
+    // request span) is captured first to be this span's parent.
+    const obs::TraceContext outer_ctx = obs::current_context();
+    const uint64_t lane_span =
+        obs::tracing_enabled() ? obs::TraceRecorder::instance().next_id()
+                               : 0;
+    obs::ContextScope lane_scope(lane_span);
 
     try {
         // Evaluation keys: the session's own (through the KeyManager's
@@ -528,6 +636,19 @@ Response InferenceServer::execute_gpu(const Request &request,
         resp.error = e.what();
     }
     resp.complete_ns = gpu.queue().clock_ns();
+    if (lane_span != 0) {
+        obs::SpanRecord span;
+        span.id = lane_span;
+        span.parent = outer_ctx.span;
+        span.clock = obs::Clock::Sim;
+        span.category = obs::Category::Schedule;
+        span.name = "serve.lane";
+        span.detail = "lane=" + std::to_string(lane);
+        span.start_ns = resp.dispatch_ns;
+        span.end_ns = resp.complete_ns;
+        span.track = gpu.queue().obs_track();
+        obs::TraceRecorder::instance().record(std::move(span));
+    }
     return resp;
 }
 
@@ -544,6 +665,14 @@ Response InferenceServer::execute_host(const Request &request,
     const std::size_t lane = request.session_id % host_lane_ns_.size();
     double clock = std::max(host_lane_ns_[lane], dispatch_time);
     resp.dispatch_ns = clock;
+
+    // Same lane-schedule span shape as the GPU path, on a simulated host
+    // lane track — the trace tree looks identical across backends.
+    const obs::TraceContext outer_ctx = obs::current_context();
+    const uint64_t lane_span =
+        obs::tracing_enabled() ? obs::TraceRecorder::instance().next_id()
+                               : 0;
+    obs::ContextScope lane_scope(lane_span);
 
     he::Backend &backend = host_bundle_.backend();
     try {
@@ -669,6 +798,19 @@ Response InferenceServer::execute_host(const Request &request,
     }
     host_lane_ns_[lane] = clock;
     resp.complete_ns = clock;
+    if (lane_span != 0) {
+        obs::SpanRecord span;
+        span.id = lane_span;
+        span.parent = outer_ctx.span;
+        span.clock = obs::Clock::Sim;
+        span.category = obs::Category::Schedule;
+        span.name = "serve.lane";
+        span.detail = "host lane=" + std::to_string(lane);
+        span.start_ns = resp.dispatch_ns;
+        span.end_ns = resp.complete_ns;
+        span.track = obs_host_lane_track(lane);
+        obs::TraceRecorder::instance().record(std::move(span));
+    }
     return resp;
 }
 
@@ -681,14 +823,37 @@ LatencyStats InferenceServer::stats() const {
     stats.fallbacks = fallbacks_;
     stats.host_requests = host_requests_;
     stats.keys = key_manager_->stats();
+
+    // Publish the device-side aggregates that only exist at stats points
+    // (per-kernel registry updates would put atomics on the hot path).
+    auto &reg = obs::Registry::global();
+    if (pool_) {
+        reg.gauge("xgpu.makespan_ns").set(pool_->makespan_ns());
+        reg.gauge("xgpu.busy_ns").set(pool_->busy_ns());
+        std::size_t live = 0;
+        std::size_t peak = 0;
+        for (std::size_t lane = 0; lane < pool_->lane_count(); ++lane) {
+            const xgpu::MemoryCache::Stats &cache =
+                pool_->context(lane).queue().cache().stats();
+            live += cache.live_bytes;
+            peak += cache.peak_live_bytes;
+        }
+        reg.gauge("xgpu.cache.live_bytes").set(static_cast<double>(live));
+        reg.gauge("xgpu.cache.peak_live_bytes")
+            .set(static_cast<double>(peak));
+    }
+
     if (latencies_ns_.empty()) {
         return stats;
     }
     std::vector<double> sorted = latencies_ns_;
     std::sort(sorted.begin(), sorted.end());
-    stats.p50_ms = percentile(sorted, 0.50) * 1e-6;
-    stats.p95_ms = percentile(sorted, 0.95) * 1e-6;
-    stats.p99_ms = percentile(sorted, 0.99) * 1e-6;
+    // Exact nearest-rank percentiles (obs::percentile is the shared
+    // implementation); the registry histogram above is the bounded
+    // export-side view of the same distribution.
+    stats.p50_ms = obs::percentile(sorted, 0.50) * 1e-6;
+    stats.p95_ms = obs::percentile(sorted, 0.95) * 1e-6;
+    stats.p99_ms = obs::percentile(sorted, 0.99) * 1e-6;
     stats.max_ms = sorted.back() * 1e-6;
     double sum = 0.0;
     for (const double v : sorted) {

@@ -167,7 +167,13 @@ public:
     }
 
 private:
+    /// Wraps execute_routed() in the request's trace identity: reserves a
+    /// span id, makes it the thread's parent context (so lane, key,
+    /// compile and kernel spans all link to it) and records the
+    /// serve.request span over [enqueue, complete] once routing returns.
     Response execute(const Request &request, double dispatch_time);
+    /// Routing + dispatch (the pre-observability execute()).
+    Response execute_routed(const Request &request, double dispatch_time);
     /// The GPU execution path (requires pool_); throws
     /// he::BackendUnavailable before any side effect if the "gpu"
     /// registry entry vanished, so execute() can fall back to host.
@@ -242,6 +248,13 @@ private:
     std::size_t host_requests_ = 0;
     double first_enqueue_ns_ = -1.0;
     double last_complete_ns_ = 0.0;
+
+    // Lazily allocated Perfetto tracks: one for serve.request/serve.batch
+    // spans, one per simulated host lane (GPU lanes use their queue's).
+    uint32_t obs_serve_track_ = 0;
+    std::vector<uint32_t> obs_host_lane_tracks_;
+    uint32_t obs_serve_track();
+    uint32_t obs_host_lane_track(std::size_t lane);
 };
 
 }  // namespace xehe::serve

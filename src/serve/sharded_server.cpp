@@ -5,6 +5,9 @@
 #include <thread>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace xehe::serve {
 
 namespace {
@@ -17,17 +20,6 @@ uint64_t splitmix64(uint64_t x) {
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
     return x ^ (x >> 31);
-}
-
-double percentile(const std::vector<double> &sorted_ns, double q) {
-    if (sorted_ns.empty()) {
-        return 0.0;
-    }
-    const double rank = std::ceil(q * static_cast<double>(sorted_ns.size()));
-    const std::size_t index =
-        std::min(sorted_ns.size() - 1,
-                 static_cast<std::size_t>(std::max(rank - 1.0, 0.0)));
-    return sorted_ns[index];
 }
 
 constexpr std::size_t kMaxFrontStreams = 256;
@@ -124,6 +116,8 @@ bool ShardedServer::admit(Request request) {
         rejections_.push_back(std::move(resp));
         ++overloaded_;
         ++failed_;
+        obs::Registry::global().counter("serve.overloaded").add();
+        obs::Registry::global().counter("serve.failed").add();
         return false;
     }
     --credits_[shard];
@@ -145,6 +139,7 @@ bool ShardedServer::submit(std::span<const uint8_t> request_bytes) {
         resp.error = e.what();
         rejections_.push_back(std::move(resp));
         ++failed_;
+        obs::Registry::global().counter("serve.failed").add();
         return false;
     }
 }
@@ -161,12 +156,18 @@ bool ShardedServer::submit_chunk(std::span<const uint8_t> frame) {
         resp.error = std::move(error);
         rejections_.push_back(std::move(resp));
         ++failed_;
+        obs::Registry::global().counter("serve.failed").add();
         if (code == Status::Overloaded) {
             ++overloaded_;
+            obs::Registry::global().counter("serve.overloaded").add();
         }
         return false;
     };
 
+    obs::Span span("wire.chunk", obs::Category::Wire);
+    if (span.active()) {
+        span.set_detail(std::to_string(frame.size()) + " bytes");
+    }
     wire::ChunkView chunk;
     try {
         chunk = wire::open_chunk(frame);
@@ -236,8 +237,18 @@ std::vector<Response> ShardedServer::run() {
         std::vector<std::thread> threads;
         threads.reserve(shards_.size());
         for (std::size_t s = 0; s < shards_.size(); ++s) {
-            threads.emplace_back(
-                [this, s, &per_shard] { per_shard[s] = shards_[s]->run(); });
+            threads.emplace_back([this, s, &per_shard] {
+                // Shard identity first, then the drain span: the span
+                // pops its own context before recording, so it picks up
+                // the shard id from the scope beneath it.
+                obs::ContextScope shard_scope(0, 0, 0,
+                                              static_cast<int32_t>(s));
+                obs::Span drain("serve.drain", obs::Category::Serve);
+                if (drain.active()) {
+                    drain.set_detail("shard=" + std::to_string(s));
+                }
+                per_shard[s] = shards_[s]->run();
+            });
         }
         for (auto &t : threads) {
             t.join();
@@ -290,9 +301,9 @@ LatencyStats ShardedServer::stats() const {
     }
     std::vector<double> sorted = latencies_ns_;
     std::sort(sorted.begin(), sorted.end());
-    merged.p50_ms = percentile(sorted, 0.50) * 1e-6;
-    merged.p95_ms = percentile(sorted, 0.95) * 1e-6;
-    merged.p99_ms = percentile(sorted, 0.99) * 1e-6;
+    merged.p50_ms = obs::percentile(sorted, 0.50) * 1e-6;
+    merged.p95_ms = obs::percentile(sorted, 0.95) * 1e-6;
+    merged.p99_ms = obs::percentile(sorted, 0.99) * 1e-6;
     merged.max_ms = sorted.back() * 1e-6;
     double sum = 0.0;
     for (const double v : sorted) {

@@ -128,19 +128,26 @@ GpuCiphertext RoutineBench::make_input(std::size_t index, std::size_t size) {
     return upload(gpu_, encryptor.encrypt(plain));
 }
 
-RoutineProfile RoutineBench::run(Routine routine) {
-    auto &profiler = gpu_.queue().profiler();
-    const double ntt0 = profiler.ntt_ns();
-    const double total0 = profiler.total_ns();
+RoutineProfile profile_routine(const GpuEvaluator &evaluator, Routine routine,
+                               const GpuCiphertext &a, const GpuCiphertext &b,
+                               const GpuCiphertext &c,
+                               const ckks::RelinKeys &relin,
+                               const ckks::GaloisKeys &galois) {
+    const xgpu::Profiler &profiler = evaluator.gpu().queue().profiler();
+    const xgpu::Profiler::Snapshot before = profiler.snapshot();
 
-    run_routine(evaluator_, routine, input_a_, input_b_, input_c_, relin_,
-                galois_);
+    run_routine(evaluator, routine, a, b, c, relin, galois);
 
+    const xgpu::Profiler::Snapshot window = profiler.delta_since(before);
     RoutineProfile profile;
-    profile.ntt_ms = (profiler.ntt_ns() - ntt0) * 1e-6;
-    profile.other_ms =
-        (profiler.total_ns() - total0 - (profiler.ntt_ns() - ntt0)) * 1e-6;
+    profile.ntt_ms = window.ntt_ns * 1e-6;
+    profile.other_ms = window.other_ns() * 1e-6;
     return profile;
+}
+
+RoutineProfile RoutineBench::run(Routine routine) {
+    return profile_routine(evaluator_, routine, input_a_, input_b_, input_c_,
+                           relin_, galois_);
 }
 
 }  // namespace xehe::core

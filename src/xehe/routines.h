@@ -47,6 +47,18 @@ struct RoutineProfile {
     }
 };
 
+/// Runs one routine through `evaluator` and returns the NTT / non-NTT
+/// split of exactly the kernel time this call added to the evaluator's
+/// queue profiler.  The window is measured with Profiler::Snapshot /
+/// delta_since — reading the raw ntt_ns()/total_ns() accumulators before
+/// and after and subtracting by hand silently double-counts whatever else
+/// runs on a shared queue between the two reads.
+RoutineProfile profile_routine(const GpuEvaluator &evaluator, Routine routine,
+                               const GpuCiphertext &a, const GpuCiphertext &b,
+                               const GpuCiphertext &c,
+                               const ckks::RelinKeys &relin,
+                               const ckks::GaloisKeys &galois);
+
 /// Owns the host-side scheme objects and GPU-resident inputs for routine
 /// benchmarking; reusable across routines and configurations.
 class RoutineBench {

@@ -1,5 +1,7 @@
 #include "xgpu/buffer.h"
 
+#include <algorithm>
+
 namespace xehe::xgpu {
 
 DeviceBuffer &DeviceBuffer::operator=(DeviceBuffer &&other) noexcept {
@@ -35,18 +37,32 @@ DeviceBuffer MemoryCache::allocate(std::size_t words) {
             ++stats_.cache_hits;
             stats_.sim_alloc_ns += spec_.cached_malloc_overhead_ns;
             std::fill(storage.begin(), storage.begin() + words, 0);
+            count_live(storage.capacity());
             return DeviceBuffer(std::move(storage), words, this);
         }
     }
     ++stats_.device_allocs;
     stats_.sim_alloc_ns += spec_.malloc_overhead_ns;
     std::vector<uint64_t> storage(words, 0);
+    count_live(storage.capacity());
     return DeviceBuffer(std::move(storage), words, this);
+}
+
+void MemoryCache::count_live(std::size_t capacity_words) {
+    stats_.live_bytes += capacity_words * sizeof(uint64_t);
+    stats_.peak_live_bytes =
+        std::max(stats_.peak_live_bytes, stats_.live_bytes);
 }
 
 void MemoryCache::release(std::vector<uint64_t> &&storage) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.frees;
+    // Accounting mirrors count_live: capacity, not requested words, is
+    // what the device actually holds.
+    const std::size_t bytes = storage.capacity() * sizeof(uint64_t);
+    stats_.live_bytes = stats_.live_bytes >= bytes
+                            ? stats_.live_bytes - bytes
+                            : 0;
     if (enabled_) {
         free_pool_.emplace(storage.capacity(), std::move(storage));
     }

@@ -62,6 +62,8 @@ public:
         std::size_t cache_hits = 0;     ///< requests served from the free pool
         std::size_t frees = 0;          ///< buffers returned to the free pool
         double sim_alloc_ns = 0.0;      ///< simulated allocation time charged
+        std::size_t live_bytes = 0;     ///< bytes in buffers now handed out
+        std::size_t peak_live_bytes = 0;  ///< high-water mark of live_bytes
     };
 
     explicit MemoryCache(DeviceSpec spec = DeviceSpec{})
@@ -83,6 +85,9 @@ public:
 private:
     friend class DeviceBuffer;
     void release(std::vector<uint64_t> &&storage);
+    /// Adds a handed-out buffer's capacity to the live-byte accounting
+    /// (caller holds the mutex).
+    void count_live(std::size_t capacity_words);
 
     DeviceSpec spec_;
     bool enabled_ = true;

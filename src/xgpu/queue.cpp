@@ -1,6 +1,15 @@
 #include "xgpu/queue.h"
 
+#include "obs/trace.h"
+
 namespace xehe::xgpu {
+
+uint32_t Queue::obs_track() {
+    if (obs_track_ == 0) {
+        obs_track_ = obs::next_track();
+    }
+    return obs_track_;
+}
 
 double Queue::submit(const Kernel &kernel) {
     const NdRange range = kernel.range();
@@ -39,7 +48,23 @@ double Queue::submit(const Kernel &kernel) {
         }
     }
     profiler_.count_submission();
+    const double start_ns = clock_ns_;
     clock_ns_ += time_ns;
+    if (obs::tracing_enabled()) {
+        // One span per physical launch; a fused launch names its
+        // constituent ops in args.detail so the fusion decision stays
+        // visible in the trace.
+        std::string detail;
+        for (const KernelStats &p : parts) {
+            if (!detail.empty()) {
+                detail += '+';
+            }
+            detail += p.name;
+        }
+        obs::record_sim_span(kernel.stats().name.c_str(),
+                             obs::Category::Kernel, start_ns, clock_ns_,
+                             obs_track(), std::move(detail));
+    }
     return time_ns;
 }
 
@@ -74,7 +99,13 @@ double Queue::transfer(std::size_t bytes) {
     const double bw = model_.spec().gmem_bandwidth(1) / 4.0;
     const double time_ns = static_cast<double>(bytes) / bw * 1e9 +
                            model_.launch_overhead_ns(cfg_);
+    const double start_ns = clock_ns_;
     clock_ns_ += time_ns;
+    if (obs::tracing_enabled()) {
+        obs::record_sim_span("xfer", obs::Category::Kernel, start_ns,
+                             clock_ns_, obs_track(),
+                             std::to_string(bytes) + " bytes");
+    }
     return time_ns;
 }
 

@@ -48,6 +48,24 @@ public:
         bool is_ntt = false;
     };
 
+    /// Point-in-time copy of the aggregate counters.  Windowed
+    /// measurements (bench routines, serving stats) take a snapshot
+    /// before the work and call delta_since() after — reading the raw
+    /// accumulators twice and subtracting by hand double-counts as soon
+    /// as anything else shares the queue.
+    struct Snapshot {
+        double total_ns = 0.0;
+        double ntt_ns = 0.0;
+        double total_alu_ops = 0.0;
+        std::size_t launches = 0;
+        std::size_t submissions = 0;
+
+        double other_ns() const noexcept { return total_ns - ntt_ns; }
+        double ntt_fraction() const noexcept {
+            return total_ns > 0.0 ? ntt_ns / total_ns : 0.0;
+        }
+    };
+
     void record(const KernelStats &stats, double time_ns) {
         Entry &e = entries_[stats.name];
         ++e.launches;
@@ -106,6 +124,22 @@ public:
     /// this below launches(); without fusion the two are equal.
     std::size_t submissions() const noexcept { return submissions_; }
     void count_submission() noexcept { ++submissions_; }
+
+    Snapshot snapshot() const noexcept {
+        return Snapshot{total_ns_, ntt_ns_, total_alu_ops_, launches(),
+                        submissions_};
+    }
+
+    /// What accumulated after `since` was taken (the profiler only grows,
+    /// so plain subtraction is exact).
+    Snapshot delta_since(const Snapshot &since) const noexcept {
+        const Snapshot now = snapshot();
+        return Snapshot{now.total_ns - since.total_ns,
+                        now.ntt_ns - since.ntt_ns,
+                        now.total_alu_ops - since.total_alu_ops,
+                        now.launches - since.launches,
+                        now.submissions - since.submissions};
+    }
 
     void reset() {
         entries_.clear();
@@ -185,6 +219,10 @@ public:
     /// of the HE pipeline when the cache misses).
     void charge_alloc_time();
 
+    /// Perfetto track (tid) this queue's kernel spans land on; allocated
+    /// lazily so untraced runs never touch the obs layer.
+    uint32_t obs_track();
+
 private:
     CostModel model_;
     ExecConfig cfg_;
@@ -194,6 +232,7 @@ private:
     bool functional_ = true;
     double clock_ns_ = 0.0;
     double charged_alloc_ns_ = 0.0;
+    uint32_t obs_track_ = 0;
 };
 
 }  // namespace xehe::xgpu

@@ -5,6 +5,7 @@
 
 #include "ntt/ntt_gpu.h"
 #include "test_common.h"
+#include "xehe/routines.h"
 #include "xgpu/queue.h"
 
 namespace xn = xehe::ntt;
@@ -105,6 +106,70 @@ TEST(Profiler, ResetClearsEverything) {
     EXPECT_DOUBLE_EQ(p.ntt_ns(), 0.0);
     EXPECT_DOUBLE_EQ(p.total_alu_ops(), 0.0);
     EXPECT_DOUBLE_EQ(p.ntt_fraction(), 0.0);
+}
+
+TEST(Profiler, SnapshotDeltaIsolatesAMeasurementWindow) {
+    xg::Profiler p;
+    p.record(make_stats("ntt_fwd", true, 100.0), 10.0);
+    p.count_submission();
+
+    const auto before = p.snapshot();
+    EXPECT_DOUBLE_EQ(before.total_ns, 10.0);
+    EXPECT_DOUBLE_EQ(before.ntt_ns, 10.0);
+    EXPECT_EQ(before.launches, 1u);
+    EXPECT_EQ(before.submissions, 1u);
+
+    // An empty window deltas to zero...
+    const auto empty = p.delta_since(before);
+    EXPECT_DOUBLE_EQ(empty.total_ns, 0.0);
+    EXPECT_EQ(empty.launches, 0u);
+    EXPECT_DOUBLE_EQ(empty.ntt_fraction(), 0.0) << "empty delta must not NaN";
+
+    // ...and a real window sees only what it added, not prior history.
+    p.record(make_stats("ntt_inv", true, 50.0), 30.0);
+    p.record(make_stats("dyadic_mul", false, 25.0), 5.0);
+    p.count_submission();
+    const auto delta = p.delta_since(before);
+    EXPECT_DOUBLE_EQ(delta.total_ns, 35.0);
+    EXPECT_DOUBLE_EQ(delta.ntt_ns, 30.0);
+    EXPECT_DOUBLE_EQ(delta.other_ns(), 5.0);
+    EXPECT_DOUBLE_EQ(delta.total_alu_ops, 75.0);
+    EXPECT_EQ(delta.launches, 2u);
+    EXPECT_EQ(delta.submissions, 1u);
+    EXPECT_DOUBLE_EQ(delta.ntt_fraction(), 30.0 / 35.0);
+
+    // Window deltas partition the aggregate: history + window = now.
+    const auto now = p.snapshot();
+    EXPECT_DOUBLE_EQ(before.total_ns + delta.total_ns, now.total_ns);
+    EXPECT_DOUBLE_EQ(before.ntt_ns + delta.ntt_ns, now.ntt_ns);
+    EXPECT_EQ(before.launches + delta.launches, now.launches);
+}
+
+TEST(ProfilerQueue, ProfileRoutineIsWindowedOnASharedQueue) {
+    // Regression: run_routine profiling used to read the raw ntt_ns() /
+    // total_ns() accumulators before and after, so a routine measured on
+    // a queue with prior kernel history double-counted that history.  The
+    // simulation is deterministic, so the same routine must profile
+    // identically on a fresh queue and on an already-dirty one.
+    xt::CkksBench host(1024, 3);
+    xehe::core::RoutineBench bench(host.context, xg::device1(),
+                                   xehe::core::GpuOptions{},
+                                   /*functional=*/true);
+
+    const auto fresh = bench.run(xehe::core::Routine::MulLinRS);
+    EXPECT_GT(fresh.total_ms(), 0.0);
+    EXPECT_GT(fresh.ntt_fraction(), 0.0);
+
+    // Dirty the shared profiler with a different routine, then re-measure.
+    bench.run(xehe::core::Routine::Rotate);
+    const auto dirty = bench.run(xehe::core::Routine::MulLinRS);
+    // Subtracting grown accumulators loses a few ulps vs the fresh sums,
+    // so "identical" means within float noise — the pre-fix double-count
+    // bug was off by the whole prior history, orders of magnitude larger.
+    EXPECT_NEAR(dirty.ntt_ms, fresh.ntt_ms, 1e-9)
+        << "windowed profile must not absorb prior queue history";
+    EXPECT_NEAR(dirty.other_ms, fresh.other_ms, 1e-9);
+    EXPECT_NEAR(dirty.ntt_fraction(), fresh.ntt_fraction(), 1e-9);
 }
 
 TEST(ProfilerQueue, ClockAdvancesAcrossSubmitWaitTransfer) {
