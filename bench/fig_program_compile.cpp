@@ -15,10 +15,14 @@
 // `--json <path>` writes the deterministic simulated metrics; CI's
 // bench-smoke job merges them into the baseline gate.  Exits non-zero if
 // any suite misses its gate.
+#include <algorithm>
+#include <chrono>
 #include <cstring>
 
 #include "bench_common.h"
+#include "he/analyze.h"
 #include "he/compiler.h"
+#include "wire/wire.h"
 
 namespace {
 
@@ -50,6 +54,48 @@ Program deep_program() {
         t2 = b.rescale(b.relinearize(b.square(t2)));
     }
     b.output(b.add(t1, t2));
+    return b.build();
+}
+
+/// Deterministic deep pseudo-random circuit, the shape of the test
+/// suite's fuzz DAGs sized up: parallel square/relinearize/rescale
+/// towers with rotates and cross-tower adds mixed in (~150-200 nodes).
+/// Aligned (`misalign = false`): every tower sees the same scale
+/// evolution, so adds at equal stage counts are exactly legal and the
+/// planner only has CSE/DCE-shaped work.  Misaligned: towers randomly
+/// take extra mod-switches, so cross-tower adds sit at unequal levels
+/// and the planner must run real repair episodes — the shape of
+/// client-built circuits that compile-on-admit actually sees.
+Program deep_fuzz_program(uint64_t seed, bool misalign) {
+    std::mt19937_64 rng(seed);
+    constexpr std::size_t kTowers = 8;
+    const int stages = misalign ? 5 : 6;
+    ProgramBuilder b(2);
+    std::vector<ProgramBuilder::Value> towers;
+    for (std::size_t t = 0; t < kTowers; ++t) {
+        towers.push_back(b.input(t % 2));
+    }
+    for (int stage = 0; stage < stages; ++stage) {
+        for (auto &t : towers) {
+            t = b.rescale(b.relinearize(b.square(t)));
+            if (rng() % 3 == 0) {
+                t = b.rotate(t, 1);
+            }
+            if (misalign && rng() % 4 == 0) {
+                t = b.mod_switch(t);
+            }
+        }
+        if (rng() % 2 == 0) {
+            const std::size_t i = rng() % kTowers;
+            const std::size_t j = rng() % kTowers;
+            towers[i] = b.add(towers[i], towers[j]);
+        }
+    }
+    auto acc = towers[0];
+    for (std::size_t t = 1; t < kTowers; ++t) {
+        acc = b.add(acc, towers[t]);
+    }
+    b.output(acc);
     return b.build();
 }
 
@@ -202,8 +248,137 @@ int main(int argc, char **argv) {
         }
     }
 
+    // --- analysis-cost suite: the admission-gate overhead --------------
+    // The static verifier runs on every served program before the
+    // compile-on-admit step, so its budget is relative to what a cache
+    // miss already pays: wire decode (he::load_program) plus the
+    // ProgramCompiler pipeline.  Both sides are host work (unlike the
+    // simulated interpretation timings above), measured in wall-clock
+    // over the five routines plus the deep synthetic circuits — aligned
+    // and planner-repair-needing fuzz shapes — with the exact admission
+    // analyzer configuration (alignment assumed, structural validation
+    // already paid by the decode, no key facts: keys are per-session
+    // state the front door does not hold).  Interleaved rounds with a
+    // median gate keep a noisy host from flaking CI.
+    {
+        std::vector<Program> circuits;
+        for (const core::Routine r : core::kAllRoutines) {
+            circuits.push_back(core::routine_program(r));
+        }
+        circuits.push_back(redundant_program());
+        circuits.push_back(deep_program());
+        for (uint64_t seed = 1; seed <= 3; ++seed) {
+            circuits.push_back(deep_fuzz_program(seed, false));
+        }
+        for (uint64_t seed = 1; seed <= 2; ++seed) {
+            circuits.push_back(deep_fuzz_program(seed, true));
+        }
+        std::vector<std::vector<uint8_t>> encoded;
+        encoded.reserve(circuits.size());
+        for (const Program &p : circuits) {
+            encoded.push_back(xehe::wire::serialize(p));
+        }
+
+        he::AnalyzerOptions aopts;
+        aopts.assume_alignment = true;
+        aopts.assume_validated = true;  // the decode validates
+        aopts.errors_only = true;       // the front door discards warnings
+        const he::ProgramAnalyzer analyzer(host, aopts);
+        // Admission facts, as InferenceServer::admit_program builds them:
+        // the serving level is known, input sizes and scales are the
+        // client's to choose, and no session keys are in scope.
+        he::InputFacts facts;
+        facts.level = host.max_level();
+        // Every suite circuit must pass the front door, or the analyze
+        // timings below measure the cost of rejecting, not admitting.
+        for (std::size_t c = 0; c < circuits.size(); ++c) {
+            const auto report = analyzer.analyze(circuits[c], facts);
+            if (!report.ok()) {
+                std::fprintf(stderr,
+                             "gate: analysis suite circuit %zu rejected: "
+                             "%s\n",
+                             c, report.summary().c_str());
+                ok = false;
+            }
+        }
+
+        using clock = std::chrono::steady_clock;
+        constexpr int kRounds = 5;
+        constexpr int kIters = 40;
+        double analyze_ms = 0.0;
+        double compile_ms = 0.0;
+        std::vector<double> round_pct;
+        std::size_t sink = 0;
+        // steady_clock::now() itself runs ~30 ns on shared runners, and
+        // the analyze window is sub-microsecond on the small routines:
+        // calibrate the timer's latency (a min is a lower bound, so the
+        // correction can never overshoot) and charge it to neither side
+        // of the ratio.
+        double tick_ms = 1.0;
+        for (int i = 0; i < 1000; ++i) {
+            const auto t0 = clock::now();
+            const auto t1 = clock::now();
+            tick_ms = std::min(
+                tick_ms,
+                std::chrono::duration<double, std::milli>(t1 - t0).count());
+        }
+        for (int round = 0; round < kRounds; ++round) {
+            // Timed exactly as a serving cache miss executes: decode,
+            // then the admission analyze of the just-decoded program,
+            // then the compiler pipeline, per request, cycling the
+            // whole circuit mix.  The analyze span is carved out of
+            // the middle, so both sides of the ratio share cache state
+            // and any host-contention burst with the real front door.
+            double a_ms = 0.0;
+            double c_ms = 0.0;
+            for (int i = 0; i < kIters; ++i) {
+                for (const auto &bytes : encoded) {
+                    const auto t0 = clock::now();
+                    const Program p = he::load_program(bytes, host);
+                    const auto t1 = clock::now();
+                    sink += analyzer.analyze(p, facts).diagnostics.size();
+                    const auto t2 = clock::now();
+                    sink += compiler.compile(p).program.nodes.size();
+                    const auto t3 = clock::now();
+                    a_ms += std::chrono::duration<double, std::milli>(
+                                t2 - t1)
+                                .count() -
+                            tick_ms;
+                    c_ms += std::chrono::duration<double, std::milli>(
+                                (t1 - t0) + (t3 - t2))
+                                .count() -
+                            2.0 * tick_ms;
+                }
+            }
+            analyze_ms += a_ms;
+            compile_ms += c_ms;
+            round_pct.push_back(100.0 * a_ms / c_ms);
+        }
+        std::sort(round_pct.begin(), round_pct.end());
+        const double pct = round_pct[round_pct.size() / 2];
+        std::printf("\nanalysis cost: %.3f ms analyze vs %.3f ms "
+                    "decode+compile over %zu circuits x %d iters x %d "
+                    "rounds (median %.2f%%, sink %zu)\n",
+                    analyze_ms, compile_ms, circuits.size(), kIters,
+                    kRounds, pct, sink);
+        metrics.push_back(
+            {"program_compile/analysis/analyze_ms", analyze_ms, "ms"});
+        metrics.push_back(
+            {"program_compile/analysis/compile_ms", compile_ms, "ms"});
+        metrics.push_back(
+            {"program_compile/analysis/overhead_pct", pct, "%"});
+        if (pct >= 5.0) {
+            std::fprintf(stderr,
+                         "gate: analysis overhead %.2f%% of the "
+                         "compile-on-admit step (must stay < 5%%)\n",
+                         pct);
+            ok = false;
+        }
+    }
+
     std::printf("\ngates: redundant levels strictly fewer; deep >= 1.1x; "
-                "routines >= 0.995x — %s\n",
+                "routines >= 0.995x; analysis < 5%% of compile-on-admit "
+                "— %s\n",
                 ok ? "all hold" : "FAILED");
 
     if (!json_path.empty()) {

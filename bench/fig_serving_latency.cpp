@@ -24,23 +24,37 @@
 #include <random>
 
 #include "bench_common.h"
+#include "he/program.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "obs/trace_export.h"
 #include "serve/server.h"
+#include "wire/wire.h"
 
 namespace {
 
+/// The client-built circuit the trace ships through the Op::Program
+/// front door: the MulLinRS shape as an he::Program, so program requests
+/// cost about as much as the routine requests they ride alongside while
+/// still paying static admission (serve.analyze) and compile-on-admit.
+std::vector<uint8_t> trace_program_bytes() {
+    xehe::he::ProgramBuilder b(2);
+    b.output(b.rescale(
+        b.relinearize(b.multiply(b.input(0), b.input(1)))));
+    return xehe::wire::serialize(b.build());
+}
+
 /// One deterministic trace: `count` requests round-robined over
 /// `sessions`, cycling the five routines with every sixth request a
-/// two-tile matmul job.  Requests arrive in bursts of six sharing one
-/// timestamp (the traffic shape dynamic batching exists for), with burst
-/// spacing ~Exp(mean) from the seed via inverse-CDF on raw mt19937_64
-/// words, so the trace is identical on every platform.
-std::vector<xehe::serve::Request> make_trace(std::size_t count,
-                                             std::size_t sessions,
-                                             double mean_burst_gap_ns,
-                                             uint64_t seed) {
+/// two-tile matmul job and every twelfth a client-built Op::Program
+/// circuit (so serving always exercises the static-admission gate).
+/// Requests arrive in bursts of six sharing one timestamp (the traffic
+/// shape dynamic batching exists for), with burst spacing ~Exp(mean)
+/// from the seed via inverse-CDF on raw mt19937_64 words, so the trace
+/// is identical on every platform.
+std::vector<xehe::serve::Request> make_trace(
+    std::size_t count, std::size_t sessions, double mean_burst_gap_ns,
+    uint64_t seed, const std::vector<uint8_t> &program) {
     std::mt19937_64 rng(seed);
     std::vector<xehe::serve::Request> trace;
     trace.reserve(count);
@@ -51,6 +65,9 @@ std::vector<xehe::serve::Request> make_trace(std::size_t count,
         if (i % 6 == 5) {
             req.op = xehe::serve::Op::MatmulTile;
             req.matmul_tiles = 2;
+        } else if (i % 12 == 7) {
+            req.op = xehe::serve::Op::Program;
+            req.program = program;
         } else {
             req.op = static_cast<xehe::serve::Op>(i % 5);
         }
@@ -104,6 +121,7 @@ int main(int argc, char **argv) {
     constexpr std::size_t kSessions = 16;
     constexpr double kMeanBurstGapNs = 12.0e6;  // saturates both lanes
     constexpr uint64_t kSeed = 20260729;
+    const std::vector<uint8_t> program_bytes = trace_program_bytes();
 
     if (overhead_reps > 0) {
         // Time the batch-8 dual-lane point with tracing compiled in but
@@ -121,7 +139,8 @@ int main(int argc, char **argv) {
             InferenceServer server(host, spec, opts, cfg);
             server.set_keys(relin, galois);
             for (auto &req : make_trace(kRequests, kSessions,
-                                        kMeanBurstGapNs, kSeed)) {
+                                        kMeanBurstGapNs, kSeed,
+                                        program_bytes)) {
                 server.submit(std::move(req));
             }
             const std::size_t served = server.run().size();
@@ -173,7 +192,8 @@ int main(int argc, char **argv) {
             InferenceServer server(host, spec, opts, cfg);
             server.set_keys(relin, galois);
             for (auto &req : make_trace(kRequests, kSessions,
-                                        kMeanBurstGapNs, kSeed)) {
+                                        kMeanBurstGapNs, kSeed,
+                                        program_bytes)) {
                 server.submit(std::move(req));
             }
             const auto responses = server.run();

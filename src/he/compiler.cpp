@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 
+#include "he/analyze.h"
 #include "obs/trace.h"
 
 namespace xehe::he {
@@ -595,6 +596,33 @@ CompiledProgram ProgramCompiler::compile(const Program &program) const {
         prefuse_pass(p, result.report);
     }
     p.validate();
+    if (options_.self_verify && options_.plan && context_ != nullptr) {
+        // Compiler-bug tripwire: the planner's contract is that its
+        // output raw-interprets cleanly under the facts it planned for
+        // (size left unknown — the planner never verifies input sizes),
+        // so any must-fail node here is a pass pipeline defect, not a
+        // user error.
+        obs::Span pass_span("compile.verify", obs::Category::Compile);
+        const std::size_t input_level =
+            options_.input_level > 0
+                ? std::min(options_.input_level, context_->max_level())
+                : context_->max_level();
+        const double input_scale =
+            options_.input_scale > 0.0
+                ? options_.input_scale
+                : static_cast<double>(
+                      context_->key_modulus()[context_->max_level() - 1]
+                          .value());
+        const std::vector<InputFacts> facts(
+            p.num_inputs, InputFacts{0, input_level, input_scale});
+        const AnalysisReport verdict =
+            ProgramAnalyzer(*context_).analyze(p, facts);
+        if (!verdict.ok()) {
+            throw std::logic_error(
+                "he: compiler: self-verify failed, pass output must-fail: " +
+                verdict.summary());
+        }
+    }
     result.after = p.stats();
     result.program = std::move(p);
     if (compile_span.active()) {

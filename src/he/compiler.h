@@ -60,6 +60,11 @@ struct CompilerOptions {
     /// Scale the planner assumes for every program input.  0 = the
     /// session default (the value of the last data prime).
     double input_scale = 0.0;
+    /// Run ProgramAnalyzer (strict mode, the planner's input facts) over
+    /// every compiled program and throw std::logic_error if any pass
+    /// emitted a must-fail node — a compiler-bug tripwire.  Only applies
+    /// when planning runs (unplanned output is legitimately misaligned).
+    bool self_verify = true;
 };
 
 /// What the pipeline did — per-pass counters plus the bit-exactness

@@ -45,27 +45,6 @@ const char *op_code_name(OpCode op) {
     return "unknown";
 }
 
-std::size_t op_code_arity(OpCode op) {
-    switch (op) {
-        case OpCode::Add:
-        case OpCode::Sub:
-        case OpCode::AddPlain:
-        case OpCode::MultiplyPlain:
-        case OpCode::Multiply:
-        case OpCode::ModSwitchAdopt:
-        case OpCode::ModSwitchAdd:
-        case OpCode::AdoptScale: return 2;
-        case OpCode::Negate:
-        case OpCode::Square:
-        case OpCode::Relinearize:
-        case OpCode::Rescale:
-        case OpCode::ModSwitch:
-        case OpCode::Rotate:
-        case OpCode::Conjugate: return 1;
-    }
-    return 0;
-}
-
 bool op_code_is_dyadic(OpCode op) {
     switch (op) {
         case OpCode::Add:

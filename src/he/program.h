@@ -56,8 +56,28 @@ inline constexpr uint8_t kMaxOpCode =
     static_cast<uint8_t>(OpCode::AdoptScale);
 
 const char *op_code_name(OpCode op);
-/// Operand count of an op (1 or 2).
-std::size_t op_code_arity(OpCode op);
+/// Operand count of an op (1 or 2).  Inline: the compiler's passes and
+/// the analyzer's fact walk call this once or twice per node.
+constexpr std::size_t op_code_arity(OpCode op) {
+    switch (op) {
+        case OpCode::Add:
+        case OpCode::Sub:
+        case OpCode::AddPlain:
+        case OpCode::MultiplyPlain:
+        case OpCode::Multiply:
+        case OpCode::ModSwitchAdopt:
+        case OpCode::ModSwitchAdd:
+        case OpCode::AdoptScale: return 2;
+        case OpCode::Negate:
+        case OpCode::Square:
+        case OpCode::Relinearize:
+        case OpCode::Rescale:
+        case OpCode::ModSwitch:
+        case OpCode::Rotate:
+        case OpCode::Conjugate: return 1;
+    }
+    return 0;
+}
 /// True for the ops that lower to one elementwise launch on the GPU
 /// backend (no NTT, no key switch) — the ops the compiler's fusion
 /// pre-lowering may place inside a pre-planned dyadic group.

@@ -98,20 +98,20 @@ void BackendRegistry::register_backend(std::string name, Probe probe,
     util::require(!name.empty(), "he: backend name must not be empty");
     util::require(probe != nullptr && factory != nullptr,
                   "he: backend probe and factory must be set");
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     entries_.insert_or_assign(std::move(name),
                               Entry{std::move(probe), std::move(factory)});
 }
 
 bool BackendRegistry::registered(const std::string &name) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return entries_.find(name) != entries_.end();
 }
 
 bool BackendRegistry::available(const std::string &name) const {
     Probe probe;
     {
-        const std::lock_guard<std::mutex> lock(mutex_);
+        const util::MutexLock lock(mutex_);
         const auto it = entries_.find(name);
         if (it == entries_.end() || disabled_.count(name) != 0) {
             return false;
@@ -122,12 +122,12 @@ bool BackendRegistry::available(const std::string &name) const {
 }
 
 bool BackendRegistry::disabled(const std::string &name) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     return disabled_.count(name) != 0;
 }
 
 void BackendRegistry::set_disabled(const std::string &name, bool disabled) {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     if (disabled) {
         disabled_.insert(name);
     } else {
@@ -136,7 +136,7 @@ void BackendRegistry::set_disabled(const std::string &name, bool disabled) {
 }
 
 std::vector<std::string> BackendRegistry::names() const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     std::vector<std::string> out;
     out.reserve(entries_.size());
     for (const auto &[name, entry] : entries_) {
@@ -147,7 +147,7 @@ std::vector<std::string> BackendRegistry::names() const {
 
 BackendRegistry::Entry BackendRegistry::entry_of(
     const std::string &name) const {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     const auto it = entries_.find(name);
     if (it == entries_.end()) {
         throw BackendUnavailable(name, "not registered");

@@ -22,12 +22,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
 #include "he/backend.h"
+#include "util/mutex.h"
 #include "xgpu/device.h"
 
 namespace xehe::he {
@@ -139,9 +139,9 @@ private:
     /// Copies the entry out under the lock, throwing on unknown/disabled.
     Entry entry_of(const std::string &name) const;
 
-    mutable std::mutex mutex_;
-    std::map<std::string, Entry> entries_;
-    std::set<std::string> disabled_;
+    mutable util::Mutex mutex_;
+    std::map<std::string, Entry> entries_ GUARDED_BY(mutex_);
+    std::set<std::string> disabled_ GUARDED_BY(mutex_);
 };
 
 }  // namespace xehe::he

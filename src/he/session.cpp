@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "he/analyze.h"
 #include "he/compiler.h"
 
 namespace xehe::he {
@@ -249,6 +250,27 @@ std::vector<Cipher> Session::run(const Program &program,
     ProgramKeys keys;
     keys.relin = &relin_;
     keys.galois = &galois_;
+    if (options_.analyze_programs) {
+        AnalyzerOptions aopts;
+        aopts.assume_alignment = options_.compile_programs;
+        aopts.set_keys(keys);
+        aopts.snap_scale = scale_;
+        aopts.snap_tolerance = options_.snap_tolerance;
+        std::vector<InputFacts> facts;
+        facts.reserve(inputs.size());
+        for (const Cipher &c : inputs) {
+            facts.push_back(facts_of(c));
+        }
+        ProgramAnalyzer analyzer(backend_->context(), std::move(aopts));
+        AnalysisReport report = analyzer.analyze(program, facts);
+        if (!report.ok()) {
+            // Sequenced before the move: function-argument evaluation
+            // order is unspecified, and summary() reads the diagnostics.
+            std::string what = "he: program rejected: " + report.summary();
+            throw ProgramRejected(std::move(what),
+                                  std::move(report.diagnostics));
+        }
+    }
     if (!options_.compile_programs) {
         return run_program(program, *backend_, inputs, keys);
     }

@@ -52,6 +52,14 @@ struct SessionOptions {
     /// per-session cache of compiled programs.  Off = raw node-by-node
     /// interpretation of the program exactly as written.
     bool compile_programs = true;
+    /// Statically verify programs with he::ProgramAnalyzer before
+    /// running: run() throws he::ProgramRejected (an invalid_argument)
+    /// for circuits that provably cannot execute on the given inputs —
+    /// level underflow, size violations, rotations this session has no
+    /// galois key for — instead of faulting mid-execution.  The check
+    /// respects compile_programs (a planner-repairable misalignment is
+    /// not an error when the compiler will run).
+    bool analyze_programs = true;
 };
 
 class Session {

@@ -130,7 +130,7 @@ Registry &Registry::global() {
 }
 
 Counter &Registry::counter(const std::string &name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const auto &e : entries_) {
         if (e->name == name && e->kind == MetricSnapshot::Kind::Counter) {
             return *e->counter;
@@ -146,7 +146,7 @@ Counter &Registry::counter(const std::string &name) {
 }
 
 Gauge &Registry::gauge(const std::string &name) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const auto &e : entries_) {
         if (e->name == name && e->kind == MetricSnapshot::Kind::Gauge) {
             return *e->gauge;
@@ -163,7 +163,7 @@ Gauge &Registry::gauge(const std::string &name) {
 
 Histogram &Registry::histogram(const std::string &name,
                                HistogramOptions options) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const auto &e : entries_) {
         if (e->name == name && e->kind == MetricSnapshot::Kind::Histogram) {
             return *e->histogram;
@@ -180,7 +180,7 @@ Histogram &Registry::histogram(const std::string &name,
 
 std::vector<MetricSnapshot> Registry::snapshot() const {
     std::vector<MetricSnapshot> out;
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     out.reserve(entries_.size());
     for (const auto &e : entries_) {
         MetricSnapshot m;
@@ -353,7 +353,7 @@ void Registry::write_prometheus(std::ostream &out) const {
 }
 
 void Registry::reset() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     for (const auto &e : entries_) {
         switch (e->kind) {
             case MetricSnapshot::Kind::Counter: e->counter->reset(); break;

@@ -14,10 +14,11 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace xehe::obs {
 
@@ -171,8 +172,8 @@ public:
 private:
     struct Entry;
 
-    mutable std::mutex mutex_;
-    std::vector<std::unique_ptr<Entry>> entries_;
+    mutable util::Mutex mutex_;
+    std::vector<std::unique_ptr<Entry>> entries_ GUARDED_BY(mutex_);
 };
 
 }  // namespace xehe::obs

@@ -64,7 +64,7 @@ TraceRecorder &TraceRecorder::instance() {
 }
 
 void TraceRecorder::enable(std::size_t capacity) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (capacity == 0) {
         capacity = 1;
     }
@@ -73,7 +73,7 @@ void TraceRecorder::enable(std::size_t capacity) {
     head_ = 0;
     count_ = 0;
     dropped_ = 0;
-    epoch_ns_ = steady_now_ns();
+    epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
 #if !defined(XEHE_OBS_DISABLED)
     detail::g_tracing_enabled.store(true, std::memory_order_relaxed);
 #endif
@@ -86,24 +86,24 @@ void TraceRecorder::disable() {
 }
 
 void TraceRecorder::clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     head_ = 0;
     count_ = 0;
     dropped_ = 0;
 }
 
 std::size_t TraceRecorder::size() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return count_;
 }
 
 std::size_t TraceRecorder::capacity() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return ring_.size();
 }
 
 std::size_t TraceRecorder::dropped() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return dropped_;
 }
 
@@ -112,7 +112,7 @@ uint64_t TraceRecorder::next_id() noexcept {
 }
 
 double TraceRecorder::host_now_ns() const noexcept {
-    return steady_now_ns() - epoch_ns_;
+    return steady_now_ns() - epoch_ns_.load(std::memory_order_relaxed);
 }
 
 void TraceRecorder::record(SpanRecord rec) {
@@ -138,7 +138,7 @@ void TraceRecorder::record(SpanRecord rec) {
     if (rec.shard < 0) {
         rec.shard = ctx.shard;
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     if (ring_.empty()) {
         return;  // enabled() raced disable()+shrink; drop quietly
     }
@@ -154,7 +154,7 @@ void TraceRecorder::record(SpanRecord rec) {
 std::vector<SpanRecord> TraceRecorder::snapshot() const {
     std::vector<SpanRecord> out;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         out.reserve(count_);
         const std::size_t start =
             (head_ + ring_.size() - count_) % (ring_.empty() ? 1 : ring_.size());

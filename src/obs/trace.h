@@ -29,9 +29,10 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/mutex.h"
 
 namespace xehe::obs {
 
@@ -136,13 +137,15 @@ public:
 private:
     TraceRecorder() = default;
 
-    mutable std::mutex mutex_;
-    std::vector<SpanRecord> ring_;
-    std::size_t head_ = 0;  ///< next write position
-    std::size_t count_ = 0;
-    std::size_t dropped_ = 0;
+    mutable util::Mutex mutex_;
+    std::vector<SpanRecord> ring_ GUARDED_BY(mutex_);
+    std::size_t head_ GUARDED_BY(mutex_) = 0;  ///< next write position
+    std::size_t count_ GUARDED_BY(mutex_) = 0;
+    std::size_t dropped_ GUARDED_BY(mutex_) = 0;
     std::atomic<uint64_t> next_id_{1};
-    double epoch_ns_ = 0.0;  ///< steady_clock origin of Clock::Host
+    /// steady_clock origin of Clock::Host.  Atomic, not guarded:
+    /// host_now_ns() reads it lock-free on every span start.
+    std::atomic<double> epoch_ns_{0.0};
 };
 
 /// Pushes a (parent span, request, session, shard) context for the

@@ -69,7 +69,7 @@ void KeyManager::register_session(uint64_t session_id,
     entry.relin_wire = wire::serialize(relin);
     entry.galois_wire = wire::serialize(galois);
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     entries_.insert_or_assign(session_id, std::move(entry));
     // Re-registration replaces (and un-caches) any previous keys, so the
     // aggregate byte counters are rebuilt from scratch — cheap, the entry
@@ -111,7 +111,7 @@ void KeyManager::make_room(std::size_t needed, uint64_t keep) {
 
 KeyManager::Acquired KeyManager::acquire(uint64_t session_id) {
     obs::Span span("keys.acquire", obs::Category::Keys);
-    std::unique_lock<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = entries_.find(session_id);
     util::require(it != entries_.end(), "session keys not registered");
     Entry &entry = it->second;
@@ -177,18 +177,18 @@ KeyManager::Acquired KeyManager::acquire(uint64_t session_id) {
 }
 
 bool KeyManager::has(uint64_t session_id) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     return entries_.count(session_id) != 0;
 }
 
 bool KeyManager::resident(uint64_t session_id) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     auto it = entries_.find(session_id);
     return it != entries_.end() && it->second.expanded != nullptr;
 }
 
 KeyStats KeyManager::stats() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     KeyStats out = stats_;
     out.sessions = entries_.size();
     out.resident_bytes = resident_bytes_;

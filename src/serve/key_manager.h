@@ -12,10 +12,10 @@
 #pragma once
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "util/mutex.h"
 #include "wire/wire.h"
 
 namespace xehe::serve {
@@ -88,17 +88,17 @@ private:
     };
 
     /// Evicts least-recently-used resident entries (never `keep`) until
-    /// `needed` more bytes fit under the budget.  Caller holds the mutex.
-    void make_room(std::size_t needed, uint64_t keep);
+    /// `needed` more bytes fit under the budget.
+    void make_room(std::size_t needed, uint64_t keep) REQUIRES(mutex_);
 
     const ckks::CkksContext *context_;
     std::size_t budget_bytes_;
 
-    mutable std::mutex mutex_;
-    std::unordered_map<uint64_t, Entry> entries_;
-    uint64_t use_clock_ = 0;
-    std::size_t resident_bytes_ = 0;
-    KeyStats stats_;
+    mutable util::Mutex mutex_;
+    std::unordered_map<uint64_t, Entry> entries_ GUARDED_BY(mutex_);
+    uint64_t use_clock_ GUARDED_BY(mutex_) = 0;
+    std::size_t resident_bytes_ GUARDED_BY(mutex_) = 0;
+    KeyStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace xehe::serve

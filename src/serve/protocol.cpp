@@ -21,6 +21,7 @@ const char *status_name(Status s) {
         case Status::ParseError: return "ParseError";
         case Status::ExecError: return "ExecError";
         case Status::Overloaded: return "Overloaded";
+        case Status::InvalidProgram: return "InvalidProgram";
     }
     return "unknown";
 }
@@ -154,7 +155,7 @@ void load(wire::Reader &r, Response &resp) {
     check(ok <= 1, "wire: bad flag byte");
     resp.ok = ok != 0;
     const uint8_t code = r.u8();
-    check(code <= static_cast<uint8_t>(Status::Overloaded),
+    check(code <= static_cast<uint8_t>(Status::InvalidProgram),
           "wire: bad status code");
     resp.code = static_cast<Status>(code);
     check(resp.ok == (resp.code == Status::Ok),

@@ -76,6 +76,12 @@ enum class Status : uint8_t {
     ParseError = 1,  ///< request/chunk bytes failed wire validation
     ExecError = 2,   ///< request was valid but evaluation failed
     Overloaded = 3,  ///< shard credit window exhausted; never enqueued
+    /// The shipped he::Program failed static verification at admission
+    /// (he::ProgramAnalyzer): level underflow, size violations, missing
+    /// rotations, outputs aliasing inputs.  Rejected before any lane
+    /// dispatch, so no device time is charged; the error string carries
+    /// the first analyzer diagnostic.
+    InvalidProgram = 4,
 };
 
 const char *status_name(Status s);

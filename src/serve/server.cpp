@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "he/analyze.h"
 #include "he/compiler.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -53,6 +54,7 @@ struct ServeMetrics {
     obs::Counter &requests;
     obs::Counter &failed;
     obs::Counter &overloaded;
+    obs::Counter &invalid_programs;
     obs::Counter &batches;
     obs::Counter &fallbacks;
     obs::Counter &host_requests;
@@ -66,6 +68,7 @@ struct ServeMetrics {
             reg.counter("serve.requests"),
             reg.counter("serve.failed"),
             reg.counter("serve.overloaded"),
+            reg.counter("serve.invalid_programs"),
             reg.counter("serve.batches"),
             reg.counter("serve.fallbacks"),
             reg.counter("serve.host_requests"),
@@ -166,6 +169,10 @@ void InferenceServer::record_failure(uint64_t session_id, Status code,
         ++overloaded_;
         ServeMetrics::instance().overloaded.add();
     }
+    if (code == Status::InvalidProgram) {
+        ++invalid_programs_;
+        ServeMetrics::instance().invalid_programs.add();
+    }
 }
 
 void InferenceServer::submit(std::span<const uint8_t> request_bytes) {
@@ -181,7 +188,57 @@ void InferenceServer::submit(std::span<const uint8_t> request_bytes) {
 }
 
 void InferenceServer::submit(Request request) {
+    if (request.op == Op::Program && !admit_program(request)) {
+        return;
+    }
     pending_.push_back(std::move(request));
+}
+
+bool InferenceServer::admit_program(const Request &request) {
+    obs::Span span("serve.analyze", obs::Category::Serve);
+    he::Program program;
+    try {
+        program = he::load_program(request.program, *host_);
+    } catch (const std::exception &) {
+        // Undecodable program bytes: admit, so the execution path
+        // reproduces the legacy wire-error response unchanged.
+        return true;
+    }
+    // The level the server will assume is known at the front door; input
+    // sizes and scales are the client's to choose.  Cost-only operands
+    // are fabricated (size 2, kScale, exactly input_level), so their
+    // facts are exact; functional inputs stay unknown, and without the
+    // compiler the execution level is whatever the client shipped.
+    std::size_t input_level = host_->max_level();
+    if (request.cost_only && request.cost_only_level != 0) {
+        input_level = std::min<std::size_t>(request.cost_only_level,
+                                            host_->max_level());
+    }
+    he::InputFacts facts;
+    facts.size = request.cost_only ? 2 : 0;
+    facts.level = config_.compile_programs || request.cost_only
+                      ? input_level
+                      : 0;
+    facts.scale =
+        request.cost_only && !config_.compile_programs ? kScale : 0.0;
+    he::AnalyzerOptions aopts;
+    aopts.assume_alignment = config_.compile_programs;
+    // load_program just validated structurally; don't walk it twice.
+    aopts.assume_validated = true;
+    // Admission acts on ok() and the first error; warnings are waste.
+    aopts.errors_only = true;
+    const he::ProgramAnalyzer analyzer(*host_, std::move(aopts));
+    const he::AnalysisReport report = analyzer.analyze(program, facts);
+    if (span.active()) {
+        span.set_detail(std::to_string(program.nodes.size()) + " nodes, " +
+                        std::to_string(report.error_count()) + " errors");
+    }
+    if (report.ok()) {
+        return true;
+    }
+    record_failure(request.session_id, Status::InvalidProgram,
+                   "serve: program rejected: " + report.summary());
+    return false;
 }
 
 void InferenceServer::submit_chunk(std::span<const uint8_t> frame) {
@@ -310,6 +367,10 @@ std::vector<Response> InferenceServer::run() {
             } else {
                 ++failed_;
                 ServeMetrics::instance().failed.add();
+                if (resp.code == Status::InvalidProgram) {
+                    ++invalid_programs_;
+                    ServeMetrics::instance().invalid_programs.add();
+                }
             }
         }
         ++batches_;
@@ -352,6 +413,28 @@ std::shared_ptr<const he::Program> InferenceServer::compiled_program(
     he::Program program = he::load_program(bytes, *host_);
     util::require(program.outputs.size() == 1,
                   "served programs must have exactly one output");
+    // Statically-rejected programs must never occupy a cache slot (or
+    // reach the compiler): normally the admission gate already refused
+    // them, but this path is also reachable through direct Request
+    // submission, so the verdict is re-checked before any insertion.
+    {
+        he::AnalyzerOptions aopts;
+        aopts.assume_alignment = true;
+        // load_program above validated structurally already.
+        aopts.assume_validated = true;
+        aopts.errors_only = true;  // only ok()/first error act here
+        he::AnalysisReport report =
+            he::ProgramAnalyzer(*host_, std::move(aopts))
+                .analyze(program, he::InputFacts{0, input_level, 0.0});
+        if (!report.ok()) {
+            // Sequenced before the move: function-argument evaluation
+            // order is unspecified, and summary() reads the diagnostics.
+            std::string what =
+                "serve: program rejected: " + report.summary();
+            throw he::ProgramRejected(std::move(what),
+                                      std::move(report.diagnostics));
+        }
+    }
     he::CompilerOptions copts;
     copts.input_level = input_level;
     copts.input_scale = kScale;  // the serving admission scale
@@ -630,6 +713,10 @@ Response InferenceServer::execute_gpu(const Request &request,
         }
         resp.ok = true;
         resp.code = Status::Ok;
+    } catch (const he::ProgramRejected &e) {
+        resp.ok = false;
+        resp.code = Status::InvalidProgram;
+        resp.error = e.what();
     } catch (const std::exception &e) {
         resp.ok = false;
         resp.code = Status::ExecError;
@@ -791,6 +878,10 @@ Response InferenceServer::execute_host(const Request &request,
         }
         resp.ok = true;
         resp.code = Status::Ok;
+    } catch (const he::ProgramRejected &e) {
+        resp.ok = false;
+        resp.code = Status::InvalidProgram;
+        resp.error = e.what();
     } catch (const std::exception &e) {
         resp.ok = false;
         resp.code = Status::ExecError;
@@ -819,6 +910,7 @@ LatencyStats InferenceServer::stats() const {
     stats.requests = latencies_ns_.size();
     stats.failed = failed_;
     stats.overloaded = overloaded_;
+    stats.invalid_programs = invalid_programs_;
     stats.batches = batches_;
     stats.fallbacks = fallbacks_;
     stats.host_requests = host_requests_;

@@ -77,6 +77,10 @@ struct LatencyStats {
     std::size_t requests = 0;   ///< completed successfully
     std::size_t failed = 0;     ///< includes overloaded rejections
     std::size_t overloaded = 0; ///< typed backpressure rejections
+    /// Programs rejected by static verification (he::ProgramAnalyzer) —
+    /// at admission or at compile time — before any lane dispatch, so
+    /// no device time was charged.  Included in `failed`.
+    std::size_t invalid_programs = 0;
     std::size_t batches = 0;
     /// Requests that wanted the GPU (Auto or Gpu hint) but ran on the
     /// host backend because no GPU backend was available — graceful
@@ -191,6 +195,13 @@ private:
     std::shared_ptr<const he::Program> compiled_program(
         uint64_t session_id, std::span<const uint8_t> bytes,
         std::size_t input_level);
+    /// Static admission gate for Op::Program requests: analyzes the
+    /// shipped circuit (he::ProgramAnalyzer) against the level the
+    /// server will execute it at.  Returns true to enqueue; on a
+    /// must-fail verdict records a Status::InvalidProgram failure and
+    /// returns false — the request never reaches a lane.  Undecodable
+    /// program bytes admit (execution reproduces the legacy error).
+    bool admit_program(const Request &request);
     void record_failure(uint64_t session_id, Status code, std::string error);
 
     const ckks::CkksContext *host_;
@@ -243,6 +254,7 @@ private:
     std::vector<double> latencies_ns_;
     std::size_t failed_ = 0;
     std::size_t overloaded_ = 0;
+    std::size_t invalid_programs_ = 0;
     std::size_t batches_ = 0;
     std::size_t fallbacks_ = 0;
     std::size_t host_requests_ = 0;

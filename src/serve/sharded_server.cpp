@@ -126,17 +126,21 @@ bool ShardedServer::admit(Request request) {
 }
 
 bool ShardedServer::submit(Request request) {
+    util::MutexLock lock(mutex_);
     return admit(std::move(request));
 }
 
 bool ShardedServer::submit(std::span<const uint8_t> request_bytes) {
     try {
-        return admit(load_request(request_bytes));
+        Request request = load_request(request_bytes);
+        util::MutexLock lock(mutex_);
+        return admit(std::move(request));
     } catch (const wire::WireError &e) {
         Response resp;
         resp.ok = false;
         resp.code = Status::ParseError;
         resp.error = e.what();
+        util::MutexLock lock(mutex_);
         rejections_.push_back(std::move(resp));
         ++failed_;
         obs::Registry::global().counter("serve.failed").add();
@@ -144,26 +148,27 @@ bool ShardedServer::submit(std::span<const uint8_t> request_bytes) {
     }
 }
 
+bool ShardedServer::reject(Status code, std::string error) {
+    Response resp;
+    resp.ok = false;
+    resp.code = code;
+    resp.error = std::move(error);
+    rejections_.push_back(std::move(resp));
+    ++failed_;
+    obs::Registry::global().counter("serve.failed").add();
+    if (code == Status::Overloaded) {
+        ++overloaded_;
+        obs::Registry::global().counter("serve.overloaded").add();
+    }
+    return false;
+}
+
 bool ShardedServer::submit_chunk(std::span<const uint8_t> frame) {
     // Mirrors InferenceServer::submit_chunk, but assembly happens before
     // routing: a chunk stream's session id is only known once the fixed
     // request prefix parses, so credits are charged when the completed
     // request reaches its shard, not per frame.
-    const auto reject = [this](Status code, std::string error) {
-        Response resp;
-        resp.ok = false;
-        resp.code = code;
-        resp.error = std::move(error);
-        rejections_.push_back(std::move(resp));
-        ++failed_;
-        obs::Registry::global().counter("serve.failed").add();
-        if (code == Status::Overloaded) {
-            ++overloaded_;
-            obs::Registry::global().counter("serve.overloaded").add();
-        }
-        return false;
-    };
-
+    util::MutexLock lock(mutex_);
     obs::Span span("wire.chunk", obs::Category::Wire);
     if (span.active()) {
         span.set_detail(std::to_string(frame.size()) + " bytes");
@@ -225,8 +230,12 @@ bool ShardedServer::submit_chunk(std::span<const uint8_t> frame) {
 }
 
 std::vector<Response> ShardedServer::run() {
-    std::vector<Response> responses = std::move(rejections_);
-    rejections_.clear();
+    std::vector<Response> responses;
+    {
+        util::MutexLock lock(mutex_);
+        responses = std::move(rejections_);
+        rejections_.clear();
+    }
 
     // One host thread per shard; each drains its own admission queue on
     // its own simulated device through its own thread pool.  The shards
@@ -255,6 +264,7 @@ std::vector<Response> ShardedServer::run() {
         }
     }
 
+    util::MutexLock lock(mutex_);
     for (std::size_t s = 0; s < per_shard.size(); ++s) {
         for (Response &resp : per_shard[s]) {
             if (resp.ok) {
@@ -274,6 +284,7 @@ std::vector<Response> ShardedServer::run() {
 }
 
 LatencyStats ShardedServer::stats() const {
+    util::MutexLock lock(mutex_);
     LatencyStats merged;
     merged.failed = failed_;
     merged.overloaded = overloaded_;
@@ -281,6 +292,7 @@ LatencyStats ShardedServer::stats() const {
         const LatencyStats s = shard->stats();
         merged.failed += s.failed;
         merged.overloaded += s.overloaded;
+        merged.invalid_programs += s.invalid_programs;
         merged.batches += s.batches;
         merged.fallbacks += s.fallbacks;
         merged.host_requests += s.host_requests;

@@ -20,6 +20,7 @@
 #pragma once
 
 #include "serve/server.h"
+#include "util/mutex.h"
 
 namespace xehe::serve {
 
@@ -60,6 +61,7 @@ public:
 
     /// Remaining admission credits of one shard.
     std::size_t credits(std::size_t shard) const {
+        util::MutexLock lock(mutex_);
         return credits_[shard];
     }
 
@@ -102,14 +104,25 @@ public:
     LatencyStats stats() const;
 
 private:
-    bool admit(Request request);
+    bool admit(Request request) REQUIRES(mutex_);
+    /// Records a front-door rejection (always returns false).  A member
+    /// rather than a lambda so the thread-safety analysis can see the
+    /// lock precondition.
+    bool reject(Status code, std::string error) REQUIRES(mutex_);
 
     ShardedConfig config_;
     std::vector<std::pair<uint64_t, std::size_t>> ring_;  ///< (hash, shard)
     std::vector<std::unique_ptr<xgpu::ThreadPool>> pools_;
     std::vector<std::unique_ptr<InferenceServer>> shards_;
-    std::vector<std::size_t> credits_;
-    std::vector<Response> rejections_;
+
+    /// Serializes admission (credits, rejections, chunk reassembly) and
+    /// the lifetime aggregates against concurrent submitters; run()'s
+    /// per-shard drain threads never touch guarded state.  Held across
+    /// the routed shard's submit() so per-shard admission (including the
+    /// program-analysis gate) stays single-threaded.
+    mutable util::Mutex mutex_;
+    std::vector<std::size_t> credits_ GUARDED_BY(mutex_);
+    std::vector<Response> rejections_ GUARDED_BY(mutex_);
 
     struct FrontChunkStream {
         StreamingRequestParser parser;
@@ -118,17 +131,18 @@ private:
         uint64_t total = 0;
         uint64_t last_fed = 0;  ///< admission tick of the latest frame
     };
-    std::unordered_map<uint64_t, FrontChunkStream> streams_;
+    std::unordered_map<uint64_t, FrontChunkStream> streams_
+        GUARDED_BY(mutex_);
     /// Staleness tick: at the open-stream cap the least-recently-fed
     /// stream is evicted instead of locking out new streams forever.
-    uint64_t stream_tick_ = 0;
+    uint64_t stream_tick_ GUARDED_BY(mutex_) = 0;
 
     // Lifetime aggregates (completed requests across every run()).
-    std::vector<double> latencies_ns_;
-    std::size_t overloaded_ = 0;
-    std::size_t failed_ = 0;
-    double first_enqueue_ns_ = -1.0;
-    double last_complete_ns_ = 0.0;
+    std::vector<double> latencies_ns_ GUARDED_BY(mutex_);
+    std::size_t overloaded_ GUARDED_BY(mutex_) = 0;
+    std::size_t failed_ GUARDED_BY(mutex_) = 0;
+    double first_enqueue_ns_ GUARDED_BY(mutex_) = -1.0;
+    double last_complete_ns_ GUARDED_BY(mutex_) = 0.0;
 };
 
 }  // namespace xehe::serve

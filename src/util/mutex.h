@@ -1,0 +1,71 @@
+// Annotated locking primitives for the Clang thread-safety CI lane.
+//
+// util::Mutex wraps std::mutex with the CAPABILITY attribute so members
+// can be declared GUARDED_BY it; util::MutexLock is the scoped guard the
+// analysis tracks (std::lock_guard over an unannotated std::mutex is
+// invisible to it); util::CondVar pairs a std::condition_variable with a
+// util::Mutex.  CondVar deliberately has no predicate-lambda wait():
+// the analysis does not propagate lock state into lambda bodies, so
+// waiters hand-roll `while (!pred) cv.wait(mu);` — which it does check.
+//
+// Under GCC the attributes vanish (see util/thread_annotations.h) and
+// these compile down to the std primitives they wrap.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace xehe::util {
+
+class CAPABILITY("mutex") Mutex {
+public:
+    Mutex() = default;
+    Mutex(const Mutex &) = delete;
+    Mutex &operator=(const Mutex &) = delete;
+
+    void lock() ACQUIRE() { mu_.lock(); }
+    void unlock() RELEASE() { mu_.unlock(); }
+    bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+private:
+    friend class CondVar;
+    std::mutex mu_;
+};
+
+/// Scoped lock: acquires on construction, releases on destruction.
+class SCOPED_CAPABILITY MutexLock {
+public:
+    explicit MutexLock(Mutex &mu) ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+    ~MutexLock() RELEASE() { mu_.unlock(); }
+
+    MutexLock(const MutexLock &) = delete;
+    MutexLock &operator=(const MutexLock &) = delete;
+
+private:
+    Mutex &mu_;
+};
+
+class CondVar {
+public:
+    /// Atomically releases `mu` and blocks until notified; `mu` is held
+    /// again when wait() returns.  Spurious wakeups happen — callers loop
+    /// on their predicate.
+    void wait(Mutex &mu) REQUIRES(mu) {
+        // Adopt the already-held native mutex so the std wait protocol
+        // applies, then release the association: ownership stays with the
+        // caller's MutexLock.
+        std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+        cv_.wait(native);
+        native.release();
+    }
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+private:
+    std::condition_variable cv_;
+};
+
+}  // namespace xehe::util

@@ -1,0 +1,38 @@
+// Clang thread-safety analysis annotations (-Wthread-safety), in the
+// abseil style: CAPABILITY marks a lockable type, GUARDED_BY ties data to
+// the mutex that must be held to touch it, REQUIRES/EXCLUDES state lock
+// preconditions on functions, and ACQUIRE/RELEASE annotate the lock
+// primitives themselves.  Under GCC (which has no thread-safety
+// analysis) every macro expands to nothing, so annotated headers compile
+// identically everywhere; the dedicated `thread-safety` CI lane builds
+// with Clang and -Wthread-safety -Werror to actually enforce them.
+//
+// std::mutex carries no capability attribute in libstdc++ (and only
+// opt-in in libc++), so GUARDED_BY(std_mutex_member) is itself a
+// -Wthread-safety-attributes error.  Annotated code therefore locks
+// through util::Mutex / util::MutexLock / util::CondVar (util/mutex.h),
+// thin wrappers the analysis can see through.
+#pragma once
+
+#if defined(__clang__) && (!defined(SWIG))
+#define XEHE_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define XEHE_THREAD_ANNOTATION(x)  // no-op outside Clang
+#endif
+
+#define CAPABILITY(x) XEHE_THREAD_ANNOTATION(capability(x))
+#define SCOPED_CAPABILITY XEHE_THREAD_ANNOTATION(scoped_lockable)
+#define GUARDED_BY(x) XEHE_THREAD_ANNOTATION(guarded_by(x))
+#define PT_GUARDED_BY(x) XEHE_THREAD_ANNOTATION(pt_guarded_by(x))
+#define REQUIRES(...) \
+    XEHE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+    XEHE_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+#define ACQUIRE(...) XEHE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define TRY_ACQUIRE(...) \
+    XEHE_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define RELEASE(...) XEHE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define EXCLUDES(...) XEHE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define RETURN_CAPABILITY(x) XEHE_THREAD_ANNOTATION(lock_returned(x))
+#define NO_THREAD_SAFETY_ANALYSIS \
+    XEHE_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -26,7 +26,7 @@ DeviceBuffer::~DeviceBuffer() {
 }
 
 DeviceBuffer MemoryCache::allocate(std::size_t words) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++stats_.requests;
     if (enabled_) {
         // Smallest free buffer with capacity >= request.
@@ -55,7 +55,7 @@ void MemoryCache::count_live(std::size_t capacity_words) {
 }
 
 void MemoryCache::release(std::vector<uint64_t> &&storage) {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     ++stats_.frees;
     // Accounting mirrors count_live: capacity, not requested words, is
     // what the device actually holds.
@@ -69,7 +69,7 @@ void MemoryCache::release(std::vector<uint64_t> &&storage) {
 }
 
 void MemoryCache::clear() {
-    std::lock_guard<std::mutex> lock(mutex_);
+    util::MutexLock lock(mutex_);
     free_pool_.clear();
 }
 

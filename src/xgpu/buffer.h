@@ -9,10 +9,10 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <span>
 #include <vector>
 
+#include "util/mutex.h"
 #include "xgpu/device.h"
 
 namespace xehe::xgpu {
@@ -70,14 +70,27 @@ public:
         : spec_(std::move(spec)) {}
 
     /// Enables or disables recycling (paper baseline has it off).
-    void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
-    bool enabled() const noexcept { return enabled_; }
+    void set_enabled(bool enabled) {
+        util::MutexLock lock(mutex_);
+        enabled_ = enabled;
+    }
+    bool enabled() const {
+        util::MutexLock lock(mutex_);
+        return enabled_;
+    }
 
     /// Allocates `words` 64-bit words of device memory.
     DeviceBuffer allocate(std::size_t words);
 
-    const Stats &stats() const noexcept { return stats_; }
-    void reset_stats() noexcept { stats_ = Stats{}; }
+    /// Point-in-time copy (the cache mutates from any allocating thread).
+    Stats stats() const {
+        util::MutexLock lock(mutex_);
+        return stats_;
+    }
+    void reset_stats() {
+        util::MutexLock lock(mutex_);
+        stats_ = Stats{};
+    }
 
     /// Drops all cached free buffers.
     void clear();
@@ -85,15 +98,15 @@ public:
 private:
     friend class DeviceBuffer;
     void release(std::vector<uint64_t> &&storage);
-    /// Adds a handed-out buffer's capacity to the live-byte accounting
-    /// (caller holds the mutex).
-    void count_live(std::size_t capacity_words);
+    /// Adds a handed-out buffer's capacity to the live-byte accounting.
+    void count_live(std::size_t capacity_words) REQUIRES(mutex_);
 
     DeviceSpec spec_;
-    bool enabled_ = true;
-    Stats stats_;
-    std::multimap<std::size_t, std::vector<uint64_t>> free_pool_;
-    std::mutex mutex_;
+    mutable util::Mutex mutex_;
+    bool enabled_ GUARDED_BY(mutex_) = true;
+    Stats stats_ GUARDED_BY(mutex_);
+    std::multimap<std::size_t, std::vector<uint64_t>> free_pool_
+        GUARDED_BY(mutex_);
 };
 
 }  // namespace xehe::xgpu

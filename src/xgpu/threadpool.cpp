@@ -18,7 +18,7 @@ ThreadPool::ThreadPool(unsigned worker_count) {
 
 ThreadPool::~ThreadPool() {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         stop_ = true;
     }
     cv_work_.notify_all();
@@ -48,11 +48,11 @@ void ThreadPool::worker_loop() {
     for (;;) {
         std::shared_ptr<Job> job;
         {
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_work_.wait(lock, [&] {
-                return stop_ ||
-                       (job_ != nullptr && generation_ != seen_generation);
-            });
+            util::MutexLock lock(mutex_);
+            while (!stop_ &&
+                   !(job_ != nullptr && generation_ != seen_generation)) {
+                cv_work_.wait(mutex_);
+            }
             if (stop_) {
                 return;
             }
@@ -62,7 +62,7 @@ void ThreadPool::worker_loop() {
         run_chunks(*job);
         // Empty critical section orders the `done` increments before the
         // caller's predicate re-check, avoiding a lost wakeup.
-        { std::lock_guard<std::mutex> lock(mutex_); }
+        { util::MutexLock lock(mutex_); }
         cv_done_.notify_one();
     }
 }
@@ -82,15 +82,17 @@ void ThreadPool::parallel_for(std::size_t count,
     job->count = count;
     job->fn = &fn;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        util::MutexLock lock(mutex_);
         job_ = job;
         ++generation_;
     }
     cv_work_.notify_all();
     run_chunks(*job);
     {
-        std::unique_lock<std::mutex> lock(mutex_);
-        cv_done_.wait(lock, [&] { return job->done.load() >= job->count; });
+        util::MutexLock lock(mutex_);
+        while (job->done.load() < job->count) {
+            cv_done_.wait(mutex_);
+        }
         job_.reset();
     }
 }

@@ -4,14 +4,13 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "util/common.h"
+#include "util/mutex.h"
 
 namespace xehe::xgpu {
 
@@ -47,12 +46,12 @@ private:
     static void run_chunks(Job &job);
 
     std::vector<std::thread> workers_;
-    std::mutex mutex_;
-    std::condition_variable cv_work_;
-    std::condition_variable cv_done_;
-    std::shared_ptr<Job> job_;
-    bool stop_ = false;
-    uint64_t generation_ = 0;
+    util::Mutex mutex_;
+    util::CondVar cv_work_;
+    util::CondVar cv_done_;
+    std::shared_ptr<Job> job_ GUARDED_BY(mutex_);
+    bool stop_ GUARDED_BY(mutex_) = false;
+    uint64_t generation_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace xehe::xgpu

@@ -800,5 +800,65 @@ TEST(HeCompiler, ServerCompileCacheServesRepeatSubmissionsBitExact) {
         "compiled vs raw server");
 }
 
+TEST(HeCompiler, StaticallyRejectedProgramsNeverOccupyTheCompileCache) {
+    CompilerRig rig;
+    const auto ct_a = rig.host.enc(rig.host.values(31));
+    const auto ct_b = rig.host.enc(rig.host.values(32));
+
+    he::ProgramBuilder good_builder(2);
+    good_builder.output(good_builder.relinearize(good_builder.multiply(
+        good_builder.input(0), good_builder.input(1))));
+    const he::Program good = good_builder.build();
+
+    // One rescale past the modulus chain: at the admission level (the
+    // context max) the fourth rescale provably underflows, so the gate
+    // must reject before the compiler or its cache are touched.
+    he::ProgramBuilder bad_builder(1);
+    auto chain = bad_builder.input(0);
+    for (std::size_t i = 0; i < rig.host.context.max_level(); ++i) {
+        chain = bad_builder.rescale(chain);
+    }
+    bad_builder.output(chain);
+    const he::Program bad = bad_builder.build();
+
+    const auto make_request = [&](const he::Program &circuit,
+                                  uint64_t session) {
+        Request req;
+        req.session_id = session;
+        req.op = Op::Program;
+        req.program = wire::serialize(circuit);
+        req.inputs.push_back(wire::serialize(ct_a));
+        if (circuit.num_inputs == 2) {
+            req.inputs.push_back(wire::serialize(ct_b));
+        }
+        return req;
+    };
+
+    InferenceServer server(rig.host.context, xgpu::device1(),
+                           core::GpuOptions{}, ServerConfig{});
+    server.set_keys(rig.relin, rig.galois);
+    server.submit(wire::serialize(make_request(good, 7)));
+    auto warm = server.run();
+    ASSERT_EQ(warm.size(), 1u);
+    ASSERT_TRUE(warm[0].ok) << warm[0].error;
+    ASSERT_EQ(server.program_cache_size(), 1u);
+
+    server.submit(wire::serialize(make_request(bad, 8)));
+    auto rejected = server.run();
+    ASSERT_EQ(rejected.size(), 1u);
+    EXPECT_FALSE(rejected[0].ok);
+    EXPECT_EQ(rejected[0].code, serve::Status::InvalidProgram);
+    EXPECT_EQ(rejected[0].session_id, 8u);
+    EXPECT_NE(rejected[0].error.find("LevelUnderflow"), std::string::npos)
+        << rejected[0].error;
+    // The rejection left the compile-on-admit cache exactly as it was
+    // and is accounted as a typed failure, not an overload.
+    EXPECT_EQ(server.program_cache_size(), 1u);
+    const auto stats = server.stats();
+    EXPECT_EQ(stats.invalid_programs, 1u);
+    EXPECT_GE(stats.failed, 1u);
+    EXPECT_EQ(stats.overloaded, 0u);
+}
+
 }  // namespace
 }  // namespace xehe::test

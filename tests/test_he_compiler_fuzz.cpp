@@ -10,6 +10,7 @@
 // of the suite.
 #include "test_common.h"
 
+#include "he/analyze.h"
 #include "he/compiler.h"
 #include "xgpu/device.h"
 
@@ -346,6 +347,165 @@ TEST(HeCompilerFuzz, RandomDagsCompileAndAgreeWithRawInterpretation) {
     // leaves untouched and programs it restructures.
     EXPECT_GT(bit_exact_outputs, 0u);
     EXPECT_GT(planned_outputs, 0u);
+}
+
+/// Targeted breakages of a known-valid program: op swaps that shift
+/// levels or sizes, unkeyed rotations, constant-level and constant-scale
+/// perturbations, and operand rewires.  Each mutant stays a structurally
+/// loadable Program (or fails validate(), which both the analyzer and
+/// run_program reject), so the analyzer⇔interpreter verdicts must agree
+/// on every one.
+std::vector<he::Program> make_mutants(const he::Program &p,
+                                      std::mt19937_64 &rng) {
+    std::vector<he::Program> mutants;
+    const uint32_t const_base = p.num_inputs;
+    const uint32_t node_base =
+        const_base + static_cast<uint32_t>(p.constants.size());
+
+    const auto nodes_where = [&](auto pred) {
+        std::vector<std::size_t> idx;
+        for (std::size_t i = 0; i < p.nodes.size(); ++i) {
+            if (pred(p.nodes[i])) {
+                idx.push_back(i);
+            }
+        }
+        return idx;
+    };
+    const auto mutate_one = [&](const std::vector<std::size_t> &idx,
+                                auto edit) {
+        if (idx.empty()) {
+            return;
+        }
+        he::Program m = p;
+        edit(m.nodes[idx[rng() % idx.size()]]);
+        mutants.push_back(std::move(m));
+    };
+    const auto is_op = [](he::OpCode op) {
+        return [op](const he::Program::Node &n) { return n.op == op; };
+    };
+
+    // Rescale <-> ModSwitch: same level drop, different scale handling.
+    mutate_one(nodes_where(is_op(he::OpCode::Rescale)),
+               [](auto &n) { n.op = he::OpCode::ModSwitch; });
+    mutate_one(nodes_where(is_op(he::OpCode::ModSwitch)),
+               [](auto &n) { n.op = he::OpCode::Rescale; });
+    // Rotations the key set does not cover.
+    mutate_one(nodes_where(is_op(he::OpCode::Rotate)),
+               [](auto &n) { n.imm = 3; });
+    mutate_one(nodes_where(is_op(he::OpCode::Rotate)), [](auto &n) {
+        n.op = he::OpCode::Conjugate;
+        n.imm = 0;
+    });
+    // Multiply -> Add trips the 1e-6 scale gate on product-scale operands;
+    // Relinearize -> Negate lets a size-3 ciphertext flow downstream.
+    mutate_one(nodes_where(is_op(he::OpCode::Multiply)),
+               [](auto &n) { n.op = he::OpCode::Add; });
+    mutate_one(nodes_where(is_op(he::OpCode::Relinearize)),
+               [](auto &n) { n.op = he::OpCode::Negate; });
+    // Re-point a plain op at a random pool constant (usually a different
+    // level or scale, both of which the evaluator gates).
+    mutate_one(nodes_where([&](const he::Program::Node &n) {
+                   return n.op == he::OpCode::AddPlain ||
+                          n.op == he::OpCode::MultiplyPlain;
+               }),
+               [&](auto &n) {
+                   n.b = const_base +
+                         static_cast<uint32_t>(rng() % p.constants.size());
+               });
+    // Nudge a referenced constant's scale just past the 1e-6 gate.
+    {
+        const auto plain_nodes =
+            nodes_where(is_op(he::OpCode::AddPlain));
+        if (!plain_nodes.empty()) {
+            he::Program m = p;
+            const auto &node =
+                m.nodes[plain_nodes[rng() % plain_nodes.size()]];
+            m.constants[node.b - const_base].scale *= 1.0 + 0x1p-10;
+            mutants.push_back(std::move(m));
+        }
+    }
+    // Rewire a node's first operand to a random earlier cipher value.
+    if (!p.nodes.empty()) {
+        he::Program m = p;
+        const std::size_t i = rng() % m.nodes.size();
+        const std::size_t ciphers = p.num_inputs + i;
+        const std::size_t r = rng() % ciphers;
+        m.nodes[i].a = static_cast<uint32_t>(
+            r < p.num_inputs ? r : node_base + (r - p.num_inputs));
+        mutants.push_back(std::move(m));
+    }
+    return mutants;
+}
+
+TEST(HeCompilerFuzz, StrictAnalyzerMatchesRawInterpreterOnSeedsAndMutants) {
+    CkksBench host(1024, 4);
+    ckks::RelinKeys relin = host.keygen.create_relin_keys();
+    const int steps[] = {1};
+    ckks::GaloisKeys galois = host.keygen.create_galois_keys(steps);
+    he::ProgramKeys keys;
+    keys.relin = &relin;
+    keys.galois = &galois;
+    const double input_scale = static_cast<double>(
+        host.context.key_modulus()[host.context.max_level() - 1].value());
+
+    he::HostBackend host_backend(host.context);
+
+    he::AnalyzerOptions aopts;
+    aopts.set_keys(keys);
+    const he::ProgramAnalyzer analyzer(host.context, aopts);
+
+    const auto interpreter_accepts =
+        [&](const he::Program &p, std::span<const he::Cipher> inputs) {
+            try {
+                he::run_program(p, host_backend, inputs, keys);
+                return true;
+            } catch (const std::exception &) {
+                return false;
+            }
+        };
+
+    std::size_t accepted_mutants = 0;
+    std::size_t rejected_mutants = 0;
+    for (uint64_t seed = 1; seed <= 220; ++seed) {
+        SCOPED_TRACE("seed " + std::to_string(seed));
+        const he::Program raw = Generator(host, seed).run();
+        const std::vector<he::InputFacts> facts(
+            raw.num_inputs,
+            he::InputFacts{2, host.context.max_level(), input_scale});
+
+        // Zero false rejects: the generator emits only raw-valid
+        // programs, and with exact point facts strict analysis is
+        // complete, so every seed must analyze clean.
+        const he::AnalysisReport clean = analyzer.analyze(raw, facts);
+        ASSERT_TRUE(clean.ok()) << clean.summary();
+
+        std::vector<he::Cipher> inputs;
+        for (uint32_t i = 0; i < raw.num_inputs; ++i) {
+            inputs.push_back(host_backend.upload(
+                host.enc(host.values(seed * 32 + i, 0.5), input_scale)));
+        }
+        ASSERT_TRUE(interpreter_accepts(raw, inputs));
+
+        // Zero false accepts (and still zero false rejects): on every
+        // mutant the static verdict must equal the runtime outcome.
+        std::mt19937_64 rng(seed * 0x9E3779B97F4A7C15ull + 1);
+        const auto mutants = make_mutants(raw, rng);
+        for (std::size_t m = 0; m < mutants.size(); ++m) {
+            const he::AnalysisReport report =
+                analyzer.analyze(mutants[m], facts);
+            const bool runs_clean =
+                interpreter_accepts(mutants[m], inputs);
+            ASSERT_EQ(report.ok(), runs_clean)
+                << "mutant " << m << " of seed " << seed
+                << (report.ok() ? " accepted but the interpreter threw"
+                                : " rejected: " + report.summary());
+            ++(runs_clean ? accepted_mutants : rejected_mutants);
+        }
+    }
+    // The mutation pass must exercise both verdicts or the differential
+    // is vacuous.
+    EXPECT_GT(accepted_mutants, 0u);
+    EXPECT_GT(rejected_mutants, 0u);
 }
 
 }  // namespace

@@ -265,6 +265,50 @@ TEST(WireProtocol, RequestResponseRoundTrip) {
     EXPECT_EQ(resp_loaded.latency_ns(), 2.0);
 }
 
+TEST(WireProtocol, InvalidProgramResponseRoundTripsWithDiagnostics) {
+    // The admission gate's typed rejection: code InvalidProgram, ok
+    // false, and the analyzer's first-error summary in the error string.
+    serve::Response resp;
+    resp.session_id = 9;
+    resp.ok = false;
+    resp.code = serve::Status::InvalidProgram;
+    resp.error =
+        "serve: program rejected: node 2 (Rescale): LevelUnderflow: "
+        "cannot rescale at the last level";
+    const auto bytes = wire::serialize(resp);
+    EXPECT_EQ(bytes.size(), wire::serialized_bytes(resp));
+    const auto loaded = serve::load_response(bytes);
+    EXPECT_EQ(loaded.session_id, 9u);
+    EXPECT_FALSE(loaded.ok);
+    EXPECT_EQ(loaded.code, serve::Status::InvalidProgram);
+    EXPECT_EQ(loaded.error, resp.error);
+    EXPECT_NE(loaded.error.find("LevelUnderflow"), std::string::npos);
+    EXPECT_TRUE(loaded.result.empty());
+
+    // A status byte past InvalidProgram (checksum re-stamped so only the
+    // code is wrong) is a typed wire error, not an enum out of range.
+    // Payload layout: tag 1, session 8, ok 1 puts the code at offset 10.
+    auto forged = bytes;
+    forged[16 + 10] = static_cast<uint8_t>(serve::Status::InvalidProgram) + 1;
+    const uint64_t sum = wire::detail::fnv1a64(std::span<const uint8_t>(
+        forged.data() + 16, forged.size() - 24));
+    for (std::size_t i = 0; i < 8; ++i) {
+        forged[forged.size() - 8 + i] = static_cast<uint8_t>(sum >> (8 * i));
+    }
+    EXPECT_THROW(serve::load_response(forged), WireError);
+
+    // An ok flag contradicting the failure code is rejected the same way.
+    auto contradicted = bytes;
+    contradicted[16 + 9] = 1;
+    const uint64_t sum2 = wire::detail::fnv1a64(std::span<const uint8_t>(
+        contradicted.data() + 16, contradicted.size() - 24));
+    for (std::size_t i = 0; i < 8; ++i) {
+        contradicted[contradicted.size() - 8 + i] =
+            static_cast<uint8_t>(sum2 >> (8 * i));
+    }
+    EXPECT_THROW(serve::load_response(contradicted), WireError);
+}
+
 TEST(WireProtocol, BackendHintRoundTripAndValidation) {
     auto &b = bench();
     for (const serve::BackendHint hint :
@@ -410,6 +454,15 @@ TEST(WireFuzz, EveryLoadOverloadRejectsCorruption) {
         wire::serialize(resp),
         [](std::span<const uint8_t> s) { return serve::load_response(s); },
         "response");
+    serve::Response invalid_program;
+    invalid_program.ok = false;
+    invalid_program.code = serve::Status::InvalidProgram;
+    invalid_program.error = "serve: program rejected: MissingRotation: "
+                            "no galois key for rotation step 3";
+    fuzz_enveloped(
+        wire::serialize(invalid_program),
+        [](std::span<const uint8_t> s) { return serve::load_response(s); },
+        "invalid-program response");
 }
 
 // A hostile envelope declaring a payload length near SIZE_MAX must be
